@@ -1,0 +1,19 @@
+"""Ablation E bench: IndexFS bulk insertion (BatchFS/DeltaFS proxy)."""
+
+from repro.bench import ablations
+
+
+def test_ablation_bulk_insertion(benchmark, scale):
+    result = benchmark.pedantic(ablations.run_bulk_insertion_ablation,
+                                args=(scale,), iterations=1, rounds=1)
+    plain = result.value("create_ops_per_sec", system="indexfs")
+    bulked = result.value("create_ops_per_sec", system="indexfs+bulk")
+    pacon = result.value("create_ops_per_sec", system="pacon")
+    # Bulk insertion is a large win on N-N creates (why BatchFS/DeltaFS
+    # exist at all).
+    assert bulked > plain * 3
+    # Pacon decisively beats plain synchronous IndexFS...
+    assert pacon > plain * 2
+    # ...and stays within the same class as bulk insertion despite
+    # keeping a strongly consistent shared view.
+    assert pacon > bulked * 0.25

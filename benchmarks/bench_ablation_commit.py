@@ -1,0 +1,16 @@
+"""Ablation A bench: barrier frequency vs create throughput."""
+
+from repro.bench import ablations
+
+
+def test_ablation_commit_discipline(benchmark, scale):
+    result = benchmark.pedantic(ablations.run_commit_ablation,
+                                args=(scale,), iterations=1, rounds=1)
+    rows = result.rows
+    # Pure async (first row) is the fastest configuration.
+    fractions = [r["fraction_of_async"] for r in rows]
+    assert fractions[0] == 1.0
+    assert all(f <= 1.0 for f in fractions)
+    # Frequent barriers collapse throughput dramatically — the reason
+    # Table I uses barriers only for rmdir/readdir.
+    assert fractions[-1] < 0.5

@@ -1,0 +1,18 @@
+"""Ablation D bench: MDS-cluster scaling vs client-side absorption."""
+
+from repro.bench import ablations
+
+
+def test_ablation_mds_scaling(benchmark, scale):
+    result = benchmark.pedantic(ablations.run_mds_scaling_ablation,
+                                args=(scale,), iterations=1, rounds=1)
+    beegfs_rows = [r for r in result.rows if r["mds"] > 0]
+    pacon = [r for r in result.rows if r["mds"] == 0][0]
+    # More MDSes help BeeGFS (weakly monotone)...
+    ops = [r["create_ops_per_sec"] for r in beegfs_rows]
+    assert all(b >= a * 0.9 for a, b in zip(ops, ops[1:]))
+    # ...but sub-linearly,
+    assert ops[-1] < ops[0] * beegfs_rows[-1]["mds"]
+    # ...and Pacon with zero extra hardware still beats the largest
+    # MDS cluster (§II.B's argument).
+    assert pacon["create_ops_per_sec"] > ops[-1] * 2

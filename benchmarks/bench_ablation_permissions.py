@@ -1,0 +1,21 @@
+"""Ablation B bench: batch permissions remove the depth dependence."""
+
+from repro.bench import ablations
+
+
+def test_ablation_batch_permissions(benchmark, scale):
+    result = benchmark.pedantic(ablations.run_permission_ablation,
+                                args=(scale,), iterations=1, rounds=1)
+    depths = ablations.SCALES[scale]["depths"]
+    deep = depths[-1]
+    batch_loss = result.value("loss_pct", mode="batch", depth=deep)
+    hier_loss = result.value("loss_pct", mode="hierarchical", depth=deep)
+    # Per-level checks pay for depth; the batch check does not.
+    assert hier_loss > batch_loss + 10
+    assert batch_loss < 15
+    # At every depth, batch is at least as fast as hierarchical.
+    for depth in depths:
+        batch = result.value("stat_ops_per_sec", mode="batch", depth=depth)
+        hier = result.value("stat_ops_per_sec", mode="hierarchical",
+                            depth=depth)
+        assert batch >= hier

@@ -1,0 +1,28 @@
+"""Ablation C bench: ShardFS/LocoFS pay for flat traversal elsewhere."""
+
+from repro.bench import ablations
+
+
+def test_ablation_related_work(benchmark, scale):
+    result = benchmark.pedantic(ablations.run_related_ablation,
+                                args=(scale,), iterations=1, rounds=1)
+    params = ablations.SCALES[scale]
+    shallow, deep = params["depths"][0], params["depths"][-1]
+    servers = params["servers"]
+    # Both alternatives achieve depth-insensitive stats...
+    for system in ("shardfs", "locofs"):
+        s = result.value("value", system=system,
+                         metric=f"stat@depth{shallow}")
+        d = result.value("value", system=system, metric=f"stat@depth{deep}")
+        assert d > s * 0.8
+    # ...but ShardFS mkdir pays the N-way replication,
+    one = result.value("value", system="shardfs", metric="mkdir@1servers")
+    many = result.value("value", system="shardfs",
+                        metric=f"mkdir@{servers}servers")
+    assert many < one / (servers / 2)
+    # ...and LocoFS directory ops do not scale with FMS count (the single
+    # DMS is the ceiling and the single point of failure).
+    c1 = result.value("value", system="locofs", metric="mkdir@1fms")
+    cn = result.value("value", system="locofs",
+                      metric=f"mkdir@{servers}fms")
+    assert cn < c1 * 1.3

@@ -1,0 +1,18 @@
+"""Extension bench: create latency distributions (§III.A Benefit 3)."""
+
+from repro.bench import latency
+
+
+def test_latency_distributions(benchmark, scale):
+    result = benchmark.pedantic(latency.run, args=(scale,), iterations=1,
+                                rounds=1)
+    pacon = result.where(system="pacon")[0]
+    beegfs = result.where(system="beegfs")[0]
+    indexfs = result.where(system="indexfs")[0]
+    # Async commit hides the MDS: Pacon's median is far below both.
+    assert pacon["p50_us"] < beegfs["p50_us"] / 3
+    assert pacon["p50_us"] < indexfs["p50_us"]
+    # Tail sanity: p99 >= p50 everywhere.
+    for row in result.rows:
+        assert row["p99_us"] >= row["p50_us"]
+        assert row["max_us"] >= row["p99_us"]

@@ -1,0 +1,11 @@
+"""Extension bench: the headline ordering survives cost-model perturbation."""
+
+from repro.bench import sensitivity
+
+
+def test_sensitivity_orderings(benchmark, scale):
+    result = benchmark.pedantic(sensitivity.run, args=(scale,),
+                                iterations=1, rounds=1)
+    for row in result.rows:
+        assert row["pacon_wins"] == "yes", row
+        assert row["pacon_vs_beegfs"] > 2

@@ -1,0 +1,18 @@
+"""Fig. 1 bench: BeeGFS/IndexFS creation scalability flattens out."""
+
+from repro.bench import fig01
+
+
+def test_fig01_client_scalability(benchmark, scale):
+    result = benchmark.pedantic(fig01.run, args=(scale,), iterations=1,
+                                rounds=1)
+    for system in ("beegfs", "indexfs"):
+        rows = result.where(system=system)
+        clients = [r["clients"] for r in rows]
+        multiples = [r["multiple"] for r in rows]
+        # Speedup grows initially...
+        assert multiples[0] == 1.0
+        assert multiples[1] > 1.2
+        # ...but stays far below linear at the largest point (Fig. 1's
+        # point: the centralized service saturates).
+        assert multiples[-1] < clients[-1] * 0.7

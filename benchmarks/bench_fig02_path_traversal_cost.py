@@ -1,0 +1,16 @@
+"""Fig. 2 bench: random leaf-dir stat loses throughput as depth grows."""
+
+from repro.bench import fig02
+
+
+def test_fig02_path_traversal_cost(benchmark, scale):
+    result = benchmark.pedantic(fig02.run, args=(scale,), iterations=1,
+                                rounds=1)
+    for system in ("beegfs", "indexfs"):
+        rows = result.where(system=system)
+        shallow = rows[0]["ops_per_sec"]
+        deep = rows[-1]["ops_per_sec"]
+        # Deeper namespaces cost materially more on traversal-bound systems.
+        assert deep < shallow * 0.9
+        # Loss column is consistent with the throughput columns.
+        assert rows[-1]["loss_vs_shallowest_pct"] > 10

@@ -1,0 +1,27 @@
+"""Fig. 8 bench: multi-application throughput — Pacon wins, IndexFS gap
+narrows relative to Fig. 7 (disjoint dirs spread IndexFS partitions)."""
+
+from repro.bench import fig08
+
+
+def test_fig08_multi_app(benchmark, scale):
+    result = benchmark.pedantic(fig08.run, args=(scale,), iterations=1,
+                                rounds=1)
+    app_counts = fig08.SCALES[scale]["app_counts"]
+    for apps in app_counts:
+        pacon = result.where(system="pacon", apps=apps)[0]
+        beegfs = result.where(system="beegfs", apps=apps)[0]
+        indexfs = result.where(system="indexfs", apps=apps)[0]
+        # Order-of-magnitude class win over BeeGFS (paper: >10x).
+        assert pacon["create"] > beegfs["create"] * 4
+        # Still ahead of IndexFS (paper: >1.07x — possibly narrow).
+        assert pacon["create"] > indexfs["create"] * 1.05
+
+    # The crossover shape: IndexFS's relative distance to Pacon shrinks
+    # as apps (directories) multiply.
+    first, last = app_counts[0], app_counts[-1]
+    gap_first = (result.value("create", system="pacon", apps=first)
+                 / result.value("create", system="indexfs", apps=first))
+    gap_last = (result.value("create", system="pacon", apps=last)
+                / result.value("create", system="indexfs", apps=last))
+    assert gap_last <= gap_first * 1.5

@@ -1,0 +1,23 @@
+"""Fig. 9 bench: depth hurts BeeGFS/IndexFS stats but barely touches Pacon."""
+
+from repro.bench import fig09
+
+
+def test_fig09_path_traversal(benchmark, scale):
+    result = benchmark.pedantic(fig09.run, args=(scale,), iterations=1,
+                                rounds=1)
+    pacon_rows = result.where(system="pacon")
+    pacon_losses = [r["loss_vs_shallowest_pct"] for r in pacon_rows]
+    # "only a slight impact" — Pacon stays within a narrow band.
+    assert all(loss < 15 for loss in pacon_losses)
+    # Traversal-bound systems lose materially more than Pacon at depth.
+    for system in ("beegfs", "indexfs"):
+        deepest = result.where(system=system)[-1]
+        pacon_deepest = pacon_rows[-1]
+        assert deepest["loss_vs_shallowest_pct"] > \
+            pacon_deepest["loss_vs_shallowest_pct"] + 10
+    # Pacon's absolute stat throughput beats both at every depth.
+    for row in pacon_rows:
+        depth = row["depth"]
+        assert row["ops_per_sec"] > result.value(
+            "ops_per_sec", system="beegfs", depth=depth)

@@ -1,0 +1,18 @@
+"""Fig. 10 bench: Pacon keeps most of raw Memcached's throughput."""
+
+from repro.bench import fig10
+
+
+def test_fig10_overhead(benchmark, scale):
+    result = benchmark.pedantic(fig10.run, args=(scale,), iterations=1,
+                                rounds=1)
+    for row in result.rows:
+        # Paper: Pacon reaches more than 64.6% of raw Memcached.
+        assert row["pacon_vs_memcached_pct"] > 55
+        # And never exceeds the raw KV (it adds work, not magic).
+        assert row["pacon"] < row["memcached"]
+        # BeeGFS and IndexFS are far below the in-memory KV.
+        assert row["beegfs"] < row["memcached"] * 0.35
+        assert row["indexfs"] < row["memcached"] * 0.5
+        # IndexFS (LSM) beats plain BeeGFS for single-client mkdir.
+        assert row["indexfs"] > row["beegfs"]

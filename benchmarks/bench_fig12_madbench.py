@@ -1,0 +1,18 @@
+"""Fig. 12 bench: MADbench2 — data-intensive, so Pacon ≈ BeeGFS overall."""
+
+from repro.bench import fig12
+
+
+def test_fig12_madbench(benchmark, scale):
+    result = benchmark.pedantic(fig12.run, args=(scale,), iterations=1,
+                                rounds=1)
+    pacon = result.where(system="pacon")[0]
+    beegfs = result.where(system="beegfs")[0]
+    # Overall runtime almost the same (paper Fig. 12).
+    assert 0.85 < pacon["total_norm"] < 1.15
+    assert beegfs["total_norm"] == 1.0
+    # Pacon's init (creation) share is no larger than BeeGFS's.
+    assert pacon["init_pct"] <= beegfs["init_pct"]
+    # Both are dominated by I/O + compute, not metadata.
+    for row in (pacon, beegfs):
+        assert row["init_pct"] < 25

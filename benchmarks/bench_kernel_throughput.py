@@ -1,0 +1,49 @@
+"""DES-kernel throughput: how fast the substrate itself runs.
+
+Not a paper figure — this tracks the simulator's own event-processing
+rate so regressions in kernel hot paths (heap ops, process resume,
+resource handoff) show up in benchmark history.  All paper-scale
+experiments are O(millions) of events; kernel speed bounds experiment
+wall-clock.
+"""
+
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+
+
+def _timeout_storm(n_processes: int, hops: int) -> int:
+    env = Environment()
+
+    def proc(i):
+        for h in range(hops):
+            yield env.timeout(1e-6 * ((i + h) % 7 + 1))
+
+    for i in range(n_processes):
+        env.process(proc(i))
+    env.run()
+    return env.processed_events
+
+
+def _resource_churn(n_processes: int, hops: int) -> int:
+    env = Environment()
+    res = Resource(env, capacity=4)
+
+    def proc(i):
+        for _ in range(hops):
+            yield from res.use(1e-6)
+
+    for i in range(n_processes):
+        env.process(proc(i))
+    env.run()
+    return env.processed_events
+
+
+def test_kernel_timeout_throughput(benchmark):
+    events = benchmark.pedantic(_timeout_storm, args=(200, 50),
+                                iterations=1, rounds=3)
+    assert events >= 200 * 50
+
+def test_kernel_resource_throughput(benchmark):
+    events = benchmark.pedantic(_resource_churn, args=(100, 50),
+                                iterations=1, rounds=3)
+    assert events >= 100 * 50

@@ -1,0 +1,10 @@
+"""Table I bench: operation semantics conform to the design table."""
+
+from repro.bench import table1
+
+
+def test_table1_semantics(benchmark, scale):
+    result = benchmark.pedantic(table1.run, args=(scale,), iterations=1,
+                                rounds=1)
+    for row in result.rows:
+        assert row["observed"] == "match", row

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Watching the commit pipeline with the structured tracer.
+
+Attaches a :class:`repro.sim.trace.Tracer` to a region and walks through
+what §III.D/§III.E look like at runtime: asynchronous creates draining to
+the DFS in the background, a barrier epoch fencing them, and the rmdir
+discard rule eating a doomed straggler.
+
+Run:  python examples/trace_commit_pipeline.py
+"""
+
+from repro.core import PaconConfig, PaconDeployment
+from repro.dfs import BeeGFS
+from repro.sim import Cluster, run_sync
+from repro.sim.trace import Tracer
+
+
+def main() -> None:
+    cluster = Cluster(seed=2026)
+    dfs = BeeGFS(cluster)
+    nodes = [cluster.add_node(f"node{i}") for i in range(2)]
+    pacon = PaconDeployment(cluster, dfs)
+    region = pacon.create_region(PaconConfig(workspace="/job"), nodes)
+    tracer = Tracer()
+    region.tracer = tracer
+    a = pacon.client(region, nodes[0])
+    b = pacon.client(region, nodes[1])
+
+    # A burst of asynchronous creates from both nodes...
+    run_sync(cluster.env, a.mkdir("/job/out"))
+    for i in range(4):
+        run_sync(cluster.env, a.create(f"/job/out/a{i}"))
+        run_sync(cluster.env, b.create(f"/job/out/b{i}"))
+    # ...a readdir barrier that fences them all...
+    names = run_sync(cluster.env, a.readdir("/job/out"))
+    print(f"listing after barrier: {names}\n")
+    # ...and an rmdir that discards whatever raced into the dying dir.
+    run_sync(cluster.env, b.rmdir("/job/out"))
+
+    print("commit-pipeline trace (per-node commit processes):")
+    print(tracer.render())
+    commits = len(list(tracer.events(kind="commit")))
+    barriers = len(list(tracer.events(kind="barrier")))
+    print(f"\n{commits} commits, {barriers} barrier passages,"
+          f" {sum(cp.discarded for cp in region.commit_processes)}"
+          " discards")
+    print("same seed -> byte-identical trace: diffing two traces pinpoints"
+          " any behavioural change")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Pacon reproduction (IPDPS 2020).
+
+Top-level package.  Sub-packages:
+
+* :mod:`repro.sim` — discrete-event simulation substrate,
+* :mod:`repro.kvstore` — MemKV/CAS, DHT, LSM tree,
+* :mod:`repro.dfs` — the BeeGFS-like underlying DFS,
+* :mod:`repro.mq` — pub/sub commit-queue substrate,
+* :mod:`repro.core` — Pacon: partial consistency, batch permissions,
+  commit disciplines, eviction, recovery,
+* :mod:`repro.baselines` — IndexFS / ShardFS / LocoFS comparators,
+* :mod:`repro.workloads` — mdtest / memaslap / MADbench2 equivalents,
+* :mod:`repro.bench` — per-figure experiment drivers.
+
+Entry point for library use::
+
+    from repro.core import PaconFS
+    fs = PaconFS(workspace="/myapp", nodes=4)
+"""
+
+__version__ = "1.0.0"

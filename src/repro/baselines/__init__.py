@@ -1,0 +1,18 @@
+"""Comparator systems.
+
+* :mod:`repro.baselines.indexfs` — the paper's main comparator: KV-resident
+  metadata on LSM trees, servers co-located with client nodes, stateless
+  client caching with leases, optional bulk insertion (the BatchFS/DeltaFS
+  approximation the paper uses in §IV).
+* :mod:`repro.baselines.shardfs` and :mod:`repro.baselines.locofs` — the
+  path-traversal-optimization alternatives discussed in §II.C/§V, built at
+  ablation grade for the trade-off benches.
+
+The native-BeeGFS baseline is :mod:`repro.dfs` itself.
+"""
+
+from repro.baselines.indexfs import IndexFS, IndexFSClient, IndexFSServer
+from repro.baselines.shardfs import ShardFS
+from repro.baselines.locofs import LocoFS
+
+__all__ = ["IndexFS", "IndexFSClient", "IndexFSServer", "ShardFS", "LocoFS"]

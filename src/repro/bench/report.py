@@ -1,0 +1,111 @@
+"""Result containers and ASCII/markdown rendering for the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "write_markdown", "fmt_ops"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment driver."""
+
+    experiment: str                      # e.g. "fig07"
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    scale: str = "ci"
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def where(self, **match: Any) -> List[Dict[str, Any]]:
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                out.append(row)
+        return out
+
+    def value(self, field_name: str, **match: Any) -> Any:
+        hits = self.where(**match)
+        if len(hits) != 1:
+            raise KeyError(f"{len(hits)} rows match {match!r}")
+        return hits[0][field_name]
+
+    def render(self) -> str:
+        header = f"== {self.experiment}: {self.title} [{self.scale}] =="
+        body = format_table(self.rows)
+        notes = "".join(f"\n  note: {n}" for n in self.notes)
+        return f"{header}\n{body}{notes}"
+
+
+def fmt_ops(value: float) -> str:
+    """Human throughput formatting (ops/s)."""
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}K"
+    return f"{value:.1f}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    def line(cells):
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+    out = [line(columns), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)
+
+
+def write_markdown(results: Sequence[ExperimentResult], path: str) -> None:
+    """Write experiment results as a markdown report."""
+    lines: List[str] = ["# Benchmark report", ""]
+    for result in results:
+        lines.append(f"## {result.experiment}: {result.title}")
+        lines.append("")
+        if result.rows:
+            columns: List[str] = []
+            for row in result.rows:
+                for key in row:
+                    if key not in columns:
+                        columns.append(key)
+            lines.append("| " + " | ".join(columns) + " |")
+            lines.append("|" + "---|" * len(columns))
+            for row in result.rows:
+                lines.append("| " + " | ".join(
+                    _fmt(row.get(c, "")) for c in columns) + " |")
+        for note in result.notes:
+            lines.append(f"\n> {note}")
+        lines.append("")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines))

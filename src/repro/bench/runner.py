@@ -1,0 +1,53 @@
+"""Run every experiment and write the consolidated report.
+
+``python -m repro.bench.runner [--paper-scale] [--out report.md]``
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List
+
+from repro.bench import ablations, fig01, fig02, fig07, fig08, fig09, \
+    fig10, fig11, fig12, latency, sensitivity, table1
+from repro.bench.report import ExperimentResult, write_markdown
+
+__all__ = ["run_all", "main"]
+
+DRIVERS = [fig01, fig02, table1, fig07, fig08, fig09, fig10, fig11, fig12,
+           latency, sensitivity]
+
+
+def run_all(scale: str = "ci", verbose: bool = True,
+            include_ablations: bool = True) -> List[ExperimentResult]:
+    results: List[ExperimentResult] = []
+    for driver in DRIVERS:
+        t0 = time.time()
+        result = driver.run(scale)
+        results.append(result)
+        if verbose:
+            print(result.render())
+            print(f"  [{time.time() - t0:.1f}s]\n")
+    if include_ablations:
+        for result in ablations.run_all(scale):
+            results.append(result)
+            if verbose:
+                print(result.render())
+                print()
+    return results
+
+
+def main() -> None:  # pragma: no cover - CLI
+    scale = "paper" if "--paper-scale" in sys.argv else "ci"
+    out_path = None
+    if "--out" in sys.argv:
+        out_path = sys.argv[sys.argv.index("--out") + 1]
+    results = run_all(scale)
+    if out_path:
+        write_markdown(results, out_path)
+        print(f"report written to {out_path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,142 @@
+"""System-under-test builders shared by all experiment drivers.
+
+``make_testbed`` assembles one of the three evaluated systems — native
+BeeGFS, IndexFS-over-BeeGFS (co-located with clients, as §IV deploys it),
+or Pacon-over-BeeGFS — on one simulated cluster with the same fabric and
+cost model, mirroring the paper's testbed topology (client nodes plus a
+1-MDS/3-data BeeGFS cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.baselines.indexfs import IndexFS
+from repro.core.config import PaconConfig
+from repro.core.deploy import PaconDeployment
+from repro.core.permissions import PermissionSpec
+from repro.dfs.beegfs import BeeGFS
+from repro.sim.costs import CostModel
+from repro.sim.network import Cluster, Node
+
+__all__ = ["AppHandle", "TestBed", "make_testbed", "SYSTEMS"]
+
+SYSTEMS = ("beegfs", "indexfs", "pacon")
+
+
+@dataclass
+class AppHandle:
+    """One application: its workspace, nodes, and per-rank clients."""
+
+    workdir: str
+    nodes: List[Node]
+    clients: List[Any]
+    region: Any = None          # ConsistentRegion for Pacon, else None
+
+
+@dataclass
+class TestBed:
+    """A deployed system plus its applications."""
+
+    system: str
+    cluster: Cluster
+    apps: List[AppHandle]
+    dfs: Optional[BeeGFS] = None
+    indexfs: Optional[IndexFS] = None
+    pacon: Optional[PaconDeployment] = None
+
+    @property
+    def env(self):
+        return self.cluster.env
+
+    @property
+    def clients(self) -> List[Any]:
+        """All clients of the first app (single-app convenience)."""
+        return self.apps[0].clients
+
+    @property
+    def app(self) -> AppHandle:
+        return self.apps[0]
+
+    def quiesce(self) -> None:
+        """Wait for Pacon's asynchronous commits (no-op elsewhere)."""
+        if self.pacon is not None:
+            for app in self.apps:
+                if app.region is not None:
+                    self.pacon.quiesce_sync(app.region)
+
+
+def make_testbed(system: str, n_apps: int = 1, nodes_per_app: int = 2,
+                 clients_per_node: int = 20,
+                 workdir_base: str = "/app",
+                 costs: Optional[CostModel] = None,
+                 seed: int = 0xBEE,
+                 n_mds: int = 1, n_data: int = 3,
+                 lease_ttl: float = 200e-3,
+                 split_threshold: int = 2000,
+                 parent_check: bool = True,
+                 trace_clients: bool = False) -> TestBed:
+    """Build one system with ``n_apps`` applications.
+
+    Application ``k`` gets workspace ``{workdir_base}{k}`` (or exactly
+    ``workdir_base`` when there is a single app), ``nodes_per_app``
+    dedicated client nodes, and ``clients_per_node`` client processes per
+    node — the paper's mdtest geometry.
+    """
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
+    cluster = Cluster(costs=costs, seed=seed)
+    workdirs = ([workdir_base] if n_apps == 1
+                else [f"{workdir_base}{k}" for k in range(n_apps)])
+    app_nodes = [
+        [cluster.add_node(f"client{k}_{i}") for i in range(nodes_per_app)]
+        for k in range(n_apps)
+    ]
+    all_nodes = [node for nodes in app_nodes for node in nodes]
+    bed = TestBed(system=system, cluster=cluster, apps=[])
+
+    if system == "beegfs":
+        bed.dfs = BeeGFS(cluster, n_mds=n_mds, n_data=n_data)
+        for k, workdir in enumerate(workdirs):
+            bed.dfs.mkdir_sync(workdir, mode=0o777, uid=1000 + k,
+                               gid=1000 + k)
+            clients = [bed.dfs.client(node, uid=1000 + k, gid=1000 + k)
+                       for node in app_nodes[k]
+                       for _ in range(clients_per_node)]
+            bed.apps.append(AppHandle(workdir=workdir, nodes=app_nodes[k],
+                                      clients=clients))
+        return bed
+
+    if system == "indexfs":
+        # Co-located with the client nodes; LevelDB tables live on BeeGFS
+        # (captured by the LSM cost constants), so no separate MDS is
+        # simulated — the data servers exist for fairness of node counts.
+        bed.indexfs = IndexFS(cluster, all_nodes, lease_ttl=lease_ttl,
+                              split_threshold=split_threshold)
+        for k, workdir in enumerate(workdirs):
+            bed.indexfs.admin_mkdir(workdir, mode=0o777, uid=1000 + k,
+                                    gid=1000 + k)
+            clients = [bed.indexfs.client(node, uid=1000 + k, gid=1000 + k)
+                       for node in app_nodes[k]
+                       for _ in range(clients_per_node)]
+            bed.apps.append(AppHandle(workdir=workdir, nodes=app_nodes[k],
+                                      clients=clients))
+        return bed
+
+    # pacon
+    bed.dfs = BeeGFS(cluster, n_mds=n_mds, n_data=n_data)
+    bed.pacon = PaconDeployment(cluster, bed.dfs)
+    for k, workdir in enumerate(workdirs):
+        config = PaconConfig(
+            workspace=workdir, uid=1000 + k, gid=1000 + k,
+            parent_check=parent_check,
+            permissions=PermissionSpec(mode=0o755, uid=1000 + k,
+                                       gid=1000 + k))
+        region = bed.pacon.create_region(config, app_nodes[k])
+        clients = [bed.pacon.client(region, node, trace=trace_clients)
+                   for node in app_nodes[k]
+                   for _ in range(clients_per_node)]
+        bed.apps.append(AppHandle(workdir=workdir, nodes=app_nodes[k],
+                                  clients=clients, region=region))
+    return bed

@@ -1,0 +1,129 @@
+"""Command-line interface: run workloads and experiments without code.
+
+Installed as ``pacon-bench`` (see pyproject) or usable as
+``python -m repro.cli``::
+
+    pacon-bench mdtest --system pacon --nodes 4 --clients-per-node 8 \
+        --items 100
+    pacon-bench madbench --system beegfs --file-size 4194304
+    pacon-bench figure fig07 --scale paper
+    pacon-bench all --scale ci --out report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pacon-bench",
+        description="Pacon reproduction: workloads and paper experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mdtest = sub.add_parser("mdtest", help="run the mdtest-like workload")
+    mdtest.add_argument("--system", choices=("beegfs", "indexfs", "pacon"),
+                        default="pacon")
+    mdtest.add_argument("--nodes", type=int, default=4)
+    mdtest.add_argument("--clients-per-node", type=int, default=8)
+    mdtest.add_argument("--items", type=int, default=50)
+    mdtest.add_argument("--phases", default="mkdir,create,stat",
+                        help="comma-separated: mkdir,create,stat,rm")
+    mdtest.add_argument("--seed", type=int, default=0xBEE)
+
+    madbench = sub.add_parser("madbench",
+                              help="run the MADbench2-like workload")
+    madbench.add_argument("--system", choices=("beegfs", "pacon"),
+                          default="pacon")
+    madbench.add_argument("--nodes", type=int, default=4)
+    madbench.add_argument("--procs-per-node", type=int, default=4)
+    madbench.add_argument("--file-size", type=int, default=1 << 20)
+    madbench.add_argument("--iterations", type=int, default=3)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name",
+                        choices=("fig01", "fig02", "table1", "fig07",
+                                 "fig08", "fig09", "fig10", "fig11",
+                                 "fig12", "latency", "sensitivity"))
+    figure.add_argument("--scale", choices=("smoke", "ci", "paper"),
+                        default="ci")
+
+    everything = sub.add_parser("all", help="regenerate every experiment")
+    everything.add_argument("--scale", choices=("smoke", "ci", "paper"),
+                            default="ci")
+    everything.add_argument("--out", default=None,
+                            help="write a markdown report here")
+    return parser
+
+
+def _cmd_mdtest(args) -> int:
+    from repro.bench.systems import make_testbed
+    from repro.workloads.mdtest import MdtestConfig, run_mdtest
+
+    bed = make_testbed(args.system, n_apps=1, nodes_per_app=args.nodes,
+                       clients_per_node=args.clients_per_node,
+                       seed=args.seed)
+    phases = tuple(p.strip() for p in args.phases.split(",") if p.strip())
+    config = MdtestConfig(workdir="/app", items_per_client=args.items,
+                          phases=phases)
+    result = run_mdtest(bed.env, bed.clients, config)
+    print(f"system={args.system} clients={len(bed.clients)}"
+          f" items/client={args.items}")
+    for phase in phases:
+        print(f"  {phase:>7}: {result.ops(phase):>12,.0f} ops/s"
+              f"  ({result.phase_elapsed[phase] * 1e3:.2f} ms simulated)")
+    return 0
+
+
+def _cmd_madbench(args) -> int:
+    from repro.bench.systems import make_testbed
+    from repro.workloads.madbench import MadbenchConfig, run_madbench
+
+    bed = make_testbed(args.system, n_apps=1, nodes_per_app=args.nodes,
+                       clients_per_node=args.procs_per_node,
+                       workdir_base="/madbench")
+    config = MadbenchConfig(workdir="/madbench", file_size=args.file_size,
+                            iterations=args.iterations)
+    result = run_madbench(bed.env, bed.clients, config)
+    bed.quiesce()
+    shares = result.shares()
+    print(f"system={args.system} procs={len(bed.clients)}"
+          f" file={args.file_size} bytes x{args.iterations} rounds")
+    print(f"  total: {result.total_time * 1e3:.2f} ms simulated")
+    for part in ("init", "write", "read", "other"):
+        print(f"  {part:>6}: {shares[part] * 100:5.1f}%")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    import importlib
+
+    driver = importlib.import_module(f"repro.bench.{args.name}")
+    print(driver.run(args.scale).render())
+    return 0
+
+
+def _cmd_all(args) -> int:
+    from repro.bench.report import write_markdown
+    from repro.bench.runner import run_all
+
+    results = run_all(args.scale)
+    if args.out:
+        write_markdown(results, args.out)
+        print(f"report written to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"mdtest": _cmd_mdtest, "madbench": _cmd_madbench,
+                "figure": _cmd_figure, "all": _cmd_all}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

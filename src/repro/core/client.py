@@ -1,0 +1,672 @@
+"""The Pacon client: the application-facing file interface (§III.B/D).
+
+Each application process holds one :class:`PaconClient`.  Operations under
+the process's consistent region are served by the distributed metadata
+cache and committed to the DFS asynchronously; operations outside every
+known region are redirected, unmodified, to the underlying DFS client.
+
+Operation semantics follow Table I of the paper:
+
+=========== ================= ====================== ======================
+op          cache operation   comm type with DFS     commit type
+=========== ================= ====================== ======================
+create      put               async                  independent
+mkdir       put               async                  independent
+rm          update & delete   async                  independent
+getattr     get               none / sync (on miss)  none / indep. (miss)
+rmdir       delete            sync                   barrier
+readdir     (none)            sync                   barrier
+=========== ================= ====================== ======================
+
+Every method is a DES generator; wrap with
+:func:`repro.sim.core.run_sync` (or use :class:`repro.core.deploy.PaconFS`)
+for synchronous use.  When ``trace=True`` each call records the Table-I
+classification it actually exercised in ``last_trace`` — the Table I
+conformance tests and bench read that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.cache import new_record
+from repro.core.commit import OpMessage
+from repro.core.region import ConsistentRegion, ReadOnlyRegion
+from repro.dfs.errors import (
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotADirectory,
+    PermissionDenied,
+)
+from repro.dfs.inode import FileType, Inode
+from repro.dfs.namespace import normalize_path, parent_of
+from repro.kvstore.memkv import KeyExists
+from repro.sim.core import Event
+
+__all__ = ["PaconClient"]
+
+
+class PaconClient:
+    """Per-process handle bound to a node inside a consistent region."""
+
+    def __init__(self, region: ConsistentRegion, node, trace: bool = False):
+        self.region = region
+        self.node = node
+        self.env = region.env
+        self.costs = region.cluster.costs
+        self.config = region.config
+        self.uid = region.config.uid
+        self.gid = region.config.gid
+        self.client_id = region.register_client(node)
+        # Redirect path: an ordinary DFS client for out-of-region requests
+        # and for Pacon's own synchronous DFS calls.
+        self.dfs_client = region.dfs.client(node, uid=self.uid, gid=self.gid)
+        self.trace = trace
+        self.last_trace: Optional[Dict[str, Any]] = None
+        #: Ablation switch: emulate the traditional layer-by-layer
+        #: permission check *inside the distributed cache* (one KV get per
+        #: path level) instead of batch permission management.  Used by the
+        #: batch-permissions ablation bench; always False in normal use.
+        self.hierarchical_permissions = False
+        # Parent directories this client has already verified (created or
+        # checked).  Saves the per-create parent KV get on the hot path;
+        # invalidated on this client's own rmdir/rm.  Correctness does not
+        # depend on it: a stale positive only defers the existence error to
+        # the commit path, which resubmits/discards per §III.E.
+        self._parent_memo: set = set()
+        # stats
+        self.ops = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.redirects = 0
+
+    # ------------------------------------------------------------------ utils
+    def _note(self, op: str, cache_op: str, comm: str, commit: str) -> None:
+        self.ops += 1
+        if self.trace:
+            self.last_trace = {"op": op, "cache_op": cache_op,
+                               "comm": comm, "commit": commit}
+
+    def _provisional_ino(self) -> int:
+        return self.region.alloc_provisional_ino()
+
+    def _charge_client_cpu(self) -> Generator[Event, Any, None]:
+        if self.costs.client_op_cpu > 0:
+            yield self.env.timeout(self.costs.client_op_cpu)
+
+    def _check_permission(self, op: str, path: str,
+                          region: Optional[ConsistentRegion] = None,
+                          ) -> Generator[Event, Any, None]:
+        """Batch permission check (§III.C) with its (tiny) CPU cost.
+
+        Checks against the *covering* region's permission information —
+        for merged regions that is the information exchanged during the
+        merge (§III.D.4 step 1).
+        """
+        region = region or self.region
+        if normalize_path(path) == region.workspace:
+            return  # region-root access was granted at region creation
+        if self.hierarchical_permissions:
+            yield from self._hierarchical_walk(path, region)
+        receipt = region.permissions.check_op(op, path, self.uid, self.gid)
+        cost = (self.costs.permission_check_batch * receipt.normal_checks +
+                self.costs.permission_check_special_per_item *
+                receipt.special_items_scanned)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        if not receipt.allowed:
+            raise PermissionDenied(path, receipt.reason)
+
+    def _hierarchical_walk(self, path: str,
+                           region: ConsistentRegion) -> Generator[
+                               Event, Any, None]:
+        """Ablation: check each ancestor's cached record level by level.
+
+        One KV get per path component between the workspace and the
+        target — the traversal cost batch permission management removes.
+        """
+        ancestors = []
+        current = parent_of(path)
+        while current != region.workspace and \
+                current.startswith(region.workspace):
+            ancestors.append(current)
+            current = parent_of(current)
+        for ancestor in reversed(ancestors):
+            yield from region.cache.get(self.node, ancestor)
+
+    def _route(self, path: str) -> Optional[ConsistentRegion]:
+        return self.region.covering_region(path)
+
+    def _publish(self, op: str, path: str, mode: int,
+                 gen_ino: int = -1) -> Generator[Event, Any, None]:
+        """Push an operation message into the local commit queue."""
+        if self.costs.commit_queue_push > 0:
+            yield self.env.timeout(self.costs.commit_queue_push)
+        msg = OpMessage(op=op, path=path, mode=mode, uid=self.uid,
+                        gid=self.gid, timestamp=self.env.now,
+                        epoch=self.region.client_epoch,
+                        client_id=self.client_id, gen_ino=gen_ino)
+        self.region.queues.route(self.node.node_id).publish(msg)
+        self.region.ops_submitted += 1
+
+    def _parent_check(self, path: str) -> Generator[Event, Any, None]:
+        """Verify the parent directory exists (cache first, DFS on miss).
+
+        Applications that guarantee creation order can disable this
+        (``config.parent_check = False``), as the paper allows.
+        """
+        parent = parent_of(path)
+        if parent == self.region.workspace:
+            return  # the workspace root always exists (created at init)
+        if parent in self._parent_memo:
+            return  # verified earlier by this client
+        record = yield from self.region.cache.get(self.node, parent)
+        if record is not None:
+            self.cache_hits += 1
+            if record.get("deleted"):
+                raise FileNotFound(parent)
+            if record["ftype"] != FileType.DIRECTORY.value:
+                raise NotADirectory(parent)
+            self._parent_memo.add(parent)
+            return
+        self.cache_misses += 1
+        # Not cached: it may exist on the DFS (§III.C) — check synchronously
+        # and load it into the cache for next time.
+        try:
+            inode = yield from self.dfs_client.getattr(parent)
+        except FileNotFound:
+            raise FileNotFound(parent)
+        if not inode.is_dir:
+            raise NotADirectory(parent)
+        record = new_record(inode.to_record(), committed=True)
+        yield from self._cache_fill(parent, record)
+        self._parent_memo.add(parent)
+
+    def _cache_fill(self, path: str,
+                    record: Dict) -> Generator[Event, Any, None]:
+        """Best-effort insert of a DFS-loaded record (races are benign)."""
+        try:
+            yield from self.region.cache.add(self.node, path, record)
+        except KeyExists:
+            pass
+
+    # ------------------------------------------------------- write operations
+    def mkdir(self, path: str,
+              mode: Optional[int] = None) -> Generator[Event, Any, Inode]:
+        inode = yield from self._create_entry("mkdir", path, mode,
+                                              FileType.DIRECTORY)
+        return inode
+
+    def create(self, path: str,
+               mode: Optional[int] = None) -> Generator[Event, Any, Inode]:
+        inode = yield from self._create_entry("create", path, mode,
+                                              FileType.FILE)
+        return inode
+
+    def _create_entry(self, op: str, path: str, mode: Optional[int],
+                      ftype: FileType) -> Generator[Event, Any, Inode]:
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None:
+            self.redirects += 1
+            self._note(op, "none", "sync", "none")
+            dfs_op = self.dfs_client.mkdir if op == "mkdir" \
+                else self.dfs_client.create
+            inode = yield from dfs_op(path, **({} if mode is None
+                                               else {"mode": mode}))
+            return inode
+        if target is not self.region:
+            raise ReadOnlyRegion(
+                f"{path} belongs to merged region {target.name};"
+                " merged regions are read-only (§III.D.4)")
+        yield from self._charge_client_cpu()
+        yield from self._check_permission(op, path)
+        if self.config.parent_check:
+            yield from self._parent_check(path)
+        if mode is None:
+            mode = self.region.permissions.effective(path).mode
+        record = new_record({
+            "ino": self._provisional_ino(),
+            "ftype": ftype.value,
+            "mode": mode,
+            "uid": self.uid,
+            "gid": self.gid,
+            "size": 0,
+            "ctime": self.env.now,
+            "mtime": self.env.now,
+            "nlink": 1,
+            "inline_data": b"" if ftype is FileType.FILE else None,
+        }, committed=False)
+        # Sub-operation 1: apply to the distributed cache (primary copy).
+        while True:
+            try:
+                yield from self.region.cache.add(self.node, path, record)
+                break
+            except KeyExists:
+                existing = yield from self.region.cache.gets(self.node, path)
+                if existing is None:
+                    continue  # deleted between add and gets: retry
+                old, token = existing
+                if not old.get("deleted"):
+                    raise FileExists(path)
+                # Recreate over a pending-removal entry: CAS it over.
+                from repro.kvstore.memkv import CasMismatch
+                try:
+                    yield from self.region.cache.cas(self.node, path, record,
+                                                     token)
+                    break
+                except CasMismatch:
+                    continue
+        # Sub-operation 2: queue the asynchronous, independent commit.
+        yield from self._publish(op, path, mode, gen_ino=record["ino"])
+        if ftype is FileType.DIRECTORY:
+            self._parent_memo.add(path)
+        self._note(op, "put", "async", "indep")
+        return Inode.from_record(record)
+
+    def rm(self, path: str) -> Generator[Event, Any, None]:
+        """Remove a file (Table I: update & delete / async / independent)."""
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None:
+            self.redirects += 1
+            self._note("rm", "none", "sync", "none")
+            yield from self.dfs_client.unlink(path)
+            return
+        if target is not self.region:
+            raise ReadOnlyRegion(f"{path} is read-only (merged region)")
+        yield from self._charge_client_cpu()
+        yield from self._check_permission("rm", path)
+
+        state = {"missing": False, "was_dir": False, "already_deleted": False}
+
+        def mark_deleted(record):
+            if record.get("deleted"):
+                state["already_deleted"] = True
+                return None
+            if record["ftype"] == FileType.DIRECTORY.value:
+                state["was_dir"] = True
+                return None
+            record["deleted"] = True
+            record["mtime"] = self.env.now
+            return record
+
+        updated = yield from self.region.cache.update(self.node, path,
+                                                      mark_deleted)
+        if state["was_dir"]:
+            raise IsADirectory(path)
+        if state["already_deleted"]:
+            raise FileNotFound(path)
+        if updated is None:
+            # Cache miss: the file may exist only on the DFS.  Load and
+            # mark in one step.
+            self.cache_misses += 1
+            inode = yield from self.dfs_client.getattr(path)  # may raise
+            if inode.is_dir:
+                raise IsADirectory(path)
+            record = new_record(inode.to_record(), committed=True,
+                                deleted=True)
+            yield from self._cache_fill(path, record)
+            gen_ino = record["ino"]
+        else:
+            self.cache_hits += 1
+            gen_ino = updated["ino"]
+        yield from self._publish("rm", path, 0, gen_ino=gen_ino)
+        self._note("rm", "update+delete", "async", "indep")
+
+    unlink = rm
+
+    # -------------------------------------------------------- read operations
+    def getattr(self, path: str) -> Generator[Event, Any, Inode]:
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None:
+            self.redirects += 1
+            self._note("getattr", "none", "sync", "none")
+            inode = yield from self.dfs_client.getattr(path)
+            return inode
+        yield from self._charge_client_cpu()
+        yield from self._check_permission("getattr", path, region=target)
+        record = yield from target.cache.get(self.node, path)
+        if record is not None:
+            self.cache_hits += 1
+            if record.get("deleted"):
+                raise FileNotFound(path)
+            self._note("getattr", "get", "none", "none")
+            return Inode.from_record(record)
+        self.cache_misses += 1
+        # Miss: synchronously load from the DFS into the cache (Table I:
+        # "sync (miss)", commit "indep. (miss)").
+        inode = yield from self.dfs_client.getattr(path)  # may raise ENOENT
+        if target is self.region:
+            record = new_record(inode.to_record(), committed=True)
+            yield from self._cache_fill(path, record)
+        self._note("getattr", "get", "sync(miss)", "indep(miss)")
+        return inode
+
+    stat = getattr
+
+    def exists(self, path: str) -> Generator[Event, Any, bool]:
+        try:
+            yield from self.getattr(path)
+            return True
+        except FileNotFound:
+            return False
+
+    def readdir(self, path: str) -> Generator[Event, Any, List[str]]:
+        """List a directory (Table I: no cache op, sync, barrier).
+
+        Pacon deliberately does *not* assemble listings from the cache
+        (that would be a full table scan over the shards); it barriers so
+        every queued operation is visible on the DFS, then asks the DFS.
+        """
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None:
+            self.redirects += 1
+            self._note("readdir", "none", "sync", "none")
+            names = yield from self.dfs_client.readdir(path)
+            return names
+        yield from self._charge_client_cpu()
+        yield from self._check_permission("readdir", path, region=target)
+        epoch, done = target.trigger_barrier()
+        yield done
+        names = yield from self.dfs_client.readdir(path)
+        self._note("readdir", "none", "sync", "barrier")
+        return names
+
+    # --------------------------------------------------- dependent operations
+    def rmdir(self, path: str) -> Generator[Event, Any, int]:
+        """Remove a directory tree (Table I: delete / sync / barrier)."""
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None:
+            self.redirects += 1
+            self._note("rmdir", "none", "sync", "none")
+            removed = yield from self.dfs_client.rmdir(path, recursive=True)
+            return removed
+        if target is not self.region:
+            raise ReadOnlyRegion(f"{path} is read-only (merged region)")
+        if path == self.region.workspace:
+            raise PermissionDenied(path, "cannot remove the region root")
+        yield from self._charge_client_cpu()
+        yield from self._check_permission("rmdir", path)
+        # Barrier: every operation that happened before this rmdir must be
+        # on the DFS before the removal runs (§III.E dependent type).
+        epoch, done = self.region.trigger_barrier()
+        yield done
+        removed = yield from self.dfs_client.rmdir(path, recursive=True)
+        self.region.note_removed_subtree(path)
+        self._parent_memo = {p for p in self._parent_memo
+                             if not (p == path or p.startswith(path + "/"))}
+        # Clean related metadata from the distributed cache (§III.D.1).
+        yield from self.region.cache.delete_subtree(self.node, path)
+        self._note("rmdir", "delete", "sync", "barrier")
+        return removed
+
+    # ------------------------------------------------- extension operations
+    def rename(self, src: str, dst: str) -> Generator[Event, Any, None]:
+        """Atomic rename (extension beyond Table I).
+
+        Rename is a *dependent* operation — its correctness depends on
+        every earlier creation under ``src`` having reached the DFS — so
+        it follows the barrier discipline like rmdir: barrier, rename on
+        the DFS synchronously, then refresh the cache (old-path records
+        dropped; they reload lazily from the DFS under the new path).
+        """
+        src = normalize_path(src)
+        dst = normalize_path(dst)
+        src_target = self._route(src)
+        dst_target = self._route(dst)
+        if src_target is None and dst_target is None:
+            self.redirects += 1
+            self._note("rename", "none", "sync", "none")
+            yield from self.dfs_client.rename(src, dst)
+            return
+        if src_target is not self.region or dst_target is not self.region:
+            raise ReadOnlyRegion(
+                "rename must stay inside the caller's own region"
+                f" ({src} -> {dst})")
+        yield from self._charge_client_cpu()
+        yield from self._check_permission("rm", src)      # parent write
+        yield from self._check_permission("create", dst)  # parent write
+        epoch, done = self.region.trigger_barrier()
+        yield done
+        yield from self.dfs_client.rename(src, dst)
+        # Drop stale cache state for both names; reads repopulate lazily.
+        yield from self.region.cache.delete_subtree(self.node, src)
+        yield from self.region.cache.delete(self.node, dst)
+        self._parent_memo = {p for p in self._parent_memo
+                             if not (p == src or p.startswith(src + "/"))}
+        self._note("rename", "delete", "sync", "barrier")
+
+    def chmod(self, path: str, mode: int) -> Generator[Event, Any, None]:
+        """Change permissions (extension beyond Table I).
+
+        Under batch permission management a per-entry mode change means
+        the entry joins the region's *special permission list* (§III.C);
+        the cached record and, synchronously, the DFS backup copy are
+        updated as well so hierarchical checks outside the region agree.
+        """
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None:
+            self.redirects += 1
+            self._note("chmod", "none", "sync", "none")
+            yield from self.dfs_client.setattr(path, mode=mode)
+            return
+        if target is not self.region:
+            raise ReadOnlyRegion(f"{path} is read-only (merged region)")
+        yield from self._charge_client_cpu()
+        yield from self._check_permission("setattr", path)
+
+        state = {"found": False, "committed": False}
+
+        def apply(record):
+            if record.get("deleted"):
+                return None
+            state["found"] = True
+            state["committed"] = record.get("committed", False)
+            record["mode"] = mode
+            record["mtime"] = self.env.now
+            return record
+
+        updated = yield from self.region.cache.update(self.node, path,
+                                                      apply)
+        if updated is None and not state["found"]:
+            # Not cached: it must exist on the DFS to be chmod-able.
+            inode = yield from self.dfs_client.getattr(path)  # may raise
+            record = new_record(inode.to_record(), committed=True)
+            record["mode"] = mode
+            yield from self._cache_fill(path, record)
+            state["committed"] = True
+        from repro.core.permissions import PermissionSpec
+        self.region.permissions.add_special(
+            path, PermissionSpec(mode=mode, uid=self.uid, gid=self.gid))
+        if state["committed"]:
+            yield from self.dfs_client.setattr(path, mode=mode)
+        self._note("chmod", "cas-update", "sync", "none")
+
+    # ------------------------------------------------------------- file data
+    def write(self, path: str, offset: int, data: Optional[bytes] = None,
+              size: Optional[int] = None) -> Generator[Event, Any, int]:
+        """Write file data: inline in the cache while small, DFS once large.
+
+        Pass real ``data`` bytes (stored inline, retrievable with
+        :meth:`read`) or a synthetic ``size`` for benchmark workloads.
+        """
+        if (data is None) == (size is None):
+            raise ValueError("pass exactly one of data= or size=")
+        nbytes = len(data) if data is not None else int(size)
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None:
+            self.redirects += 1
+            self._note("write", "none", "sync", "none")
+            n = yield from self.dfs_client.write(path, offset, nbytes)
+            return n
+        if target is not self.region:
+            raise ReadOnlyRegion(f"{path} is read-only (merged region)")
+        yield from self._charge_client_cpu()
+        yield from self._check_permission("write", path)
+
+        got = yield from self.region.cache.gets(self.node, path)
+        if got is None:
+            # Not cached: a DFS-resident (large) file — pure redirect.
+            self.cache_misses += 1
+            n = yield from self.dfs_client.write(path, offset, nbytes)
+            self._note("write", "none", "sync", "none")
+            return n
+        self.cache_hits += 1
+        record, _token = got
+        if record.get("deleted"):
+            raise FileNotFound(path)
+        if record["ftype"] == FileType.DIRECTORY.value:
+            raise IsADirectory(path)
+        new_size = max(record["size"], offset + nbytes)
+
+        if record.get("large"):
+            yield from self.dfs_client.write(path, offset, nbytes)
+            if new_size > record["size"]:
+                yield from self.region.cache.update(
+                    self.node, path, lambda r: {**r, "size": max(r["size"],
+                                                                 new_size)})
+            self._note("write", "update", "sync", "none")
+            return nbytes
+
+        if new_size <= self.config.small_file_threshold:
+            # Small file: data lives inline with the metadata (§III.D.2);
+            # concurrent updates resolve through the CAS loop.
+            def apply(rec):
+                buf = bytearray(rec.get("inline_data") or b"")
+                if len(buf) < offset + nbytes:
+                    buf.extend(b"\x00" * (offset + nbytes - len(buf)))
+                chunk = data if data is not None else b"\x00" * nbytes
+                buf[offset:offset + nbytes] = chunk
+                rec["inline_data"] = bytes(buf)
+                rec["size"] = len(buf)
+                rec["mtime"] = self.env.now
+                return rec
+
+            yield from self.region.cache.update(self.node, path, apply)
+            self._note("write", "cas-update", "async", "indep")
+            return nbytes
+
+        # Crossing the threshold: materialize on the DFS and stop inlining.
+        yield from self._convert_to_large(path, record, offset, nbytes,
+                                          new_size)
+        self._note("write", "update", "sync", "none")
+        return nbytes
+
+    def _convert_to_large(self, path: str, record: Dict, offset: int,
+                          nbytes: int,
+                          new_size: int) -> Generator[Event, Any, None]:
+        """Small→large transition: ensure DFS file, flush inline, redirect."""
+        if not record.get("committed"):
+            # The asynchronous create may not have landed; create directly
+            # (the commit process resolves the EEXIST via the committed
+            # flag we set below).
+            try:
+                yield from self.dfs_client.create(path, mode=record["mode"])
+            except FileExists:
+                pass
+        inline_size = record["size"]
+        if inline_size > 0:
+            yield from self.dfs_client.write(path, 0, inline_size)
+        yield from self.dfs_client.write(path, offset, nbytes)
+
+        def finalize(rec):
+            rec["committed"] = True
+            rec["large"] = True
+            rec["inline_data"] = None
+            rec["shadow"] = False
+            rec["size"] = max(rec["size"], new_size)
+            rec["mtime"] = self.env.now
+            return rec
+
+        yield from self.region.cache.update(self.node, path, finalize)
+
+    def read(self, path: str, offset: int,
+             size: int) -> Generator[Event, Any, bytes]:
+        """Read file data; returns bytes (zero-filled for synthetic data)."""
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None:
+            self.redirects += 1
+            self._note("read", "none", "sync", "none")
+            n = yield from self.dfs_client.read(path, offset, size)
+            return b"\x00" * n
+        yield from self._charge_client_cpu()
+        yield from self._check_permission("read", path, region=target)
+        record = yield from target.cache.get(self.node, path)
+        if record is None:
+            self.cache_misses += 1
+            n = yield from self.dfs_client.read(path, offset, size)
+            self._note("read", "none", "sync", "none")
+            return b"\x00" * n
+        self.cache_hits += 1
+        if record.get("deleted"):
+            raise FileNotFound(path)
+        if record["ftype"] == FileType.DIRECTORY.value:
+            raise IsADirectory(path)
+        if record.get("large"):
+            n = yield from self.dfs_client.read(path, offset, size)
+            self._note("read", "get", "sync", "none")
+            return b"\x00" * n
+        # Small file: metadata + data in the single KV get above (§III.D.2).
+        data = record.get("inline_data") or b""
+        self._note("read", "get", "none", "none")
+        return data[offset:offset + size]
+
+    def fsync(self, path: str) -> Generator[Event, Any, None]:
+        """Force inline data to the DFS (§III.D.2).
+
+        If the file's create has not committed yet, the data is written to
+        a *cache file* with direct I/O and written back to its original
+        position after the create commits (the commit process does the
+        write-back).
+        """
+        path = normalize_path(path)
+        target = self._route(path)
+        if target is None or target is not self.region:
+            self._note("fsync", "none", "sync", "none")
+            return  # DFS writes in this model are already durable
+        yield from self._charge_client_cpu()
+        got = yield from self.region.cache.gets(self.node, path)
+        if got is None:
+            return  # large/DFS-resident: nothing inline to flush
+        record, _token = got
+        if record.get("deleted"):
+            raise FileNotFound(path)
+        if record.get("large") or record["size"] == 0:
+            return
+        if record.get("committed"):
+            yield from self.dfs_client.write(path, 0, record["size"])
+            self._note("fsync", "get", "sync", "none")
+            return
+        # Not on the DFS yet: park the bytes in a per-region cache file.
+        shadow_path = (f"{self.region.dfs_shadow_dir}/"
+                       f"{self.client_id}-{abs(hash(path)) % (1 << 30)}")
+        try:
+            yield from self.dfs_client.create(shadow_path)
+        except FileExists:
+            pass
+        yield from self.dfs_client.write(shadow_path, 0, record["size"])
+        # Race with the commit process: if the create commits while we were
+        # writing the cache file, write through to the real path instead of
+        # setting a shadow flag nobody will ever write back.
+        state = {"committed_meanwhile": False}
+
+        def set_shadow(rec):
+            if rec.get("committed"):
+                state["committed_meanwhile"] = True
+                return None
+            rec["shadow"] = True
+            return rec
+
+        updated = yield from self.region.cache.update(self.node, path,
+                                                      set_shadow)
+        if updated is None and state["committed_meanwhile"]:
+            yield from self.dfs_client.write(path, 0, record["size"])
+        self._note("fsync", "cas-update", "sync", "none")

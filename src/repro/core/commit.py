@@ -1,0 +1,330 @@
+"""Metadata operation commit (§III.D.1, §III.E).
+
+Every metadata update in Pacon is two sub-operations: apply to the
+distributed cache (done by the client), then apply to the DFS — done here.
+Each region node runs one :class:`CommitProcess` (the subscriber of the
+paper's Fig. 5) that drains its node's commit queue and applies operations
+through an ordinary DFS client.
+
+Commit disciplines:
+
+* **Independent commit** — create/mkdir/rm need no temporal order, only the
+  namespace conventions, which the DFS itself enforces by rejecting
+  violations.  A rejected operation (e.g. parent not created yet because
+  its creation sits in another node's queue) is simply *resubmitted* until
+  it succeeds.  The §III.E proof that any such interleaving converges to
+  the same namespace is exercised by
+  ``tests/properties/test_commit_equivalence.py``.
+* **Barrier commit** — rmdir/readdir must see all earlier operations
+  committed.  Clients stamp every operation with a barrier epoch; a
+  dependent operation broadcasts one barrier message per client into every
+  node's queue and bumps the epoch.  A commit process that has drained all
+  its local epoch-``e`` work arrives at a region-wide barrier; when the
+  last process arrives, epoch ``e`` is globally committed and the waiting
+  client proceeds.
+
+One special rule from the paper: creations inside a directory removed by a
+committed rmdir are *discarded*, not retried (they can never satisfy the
+namespace conventions again).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Generator, List
+
+from repro.dfs.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    NotADirectory,
+)
+from repro.dfs.namespace import parent_of
+from repro.mq.queue import QueueClosed
+from repro.sim.core import Event
+
+__all__ = ["OpMessage", "BarrierMessage", "CommitProcess", "CommitStalled"]
+
+#: Operations committed independently (non-dependent type).
+INDEPENDENT_OPS = ("create", "mkdir", "rm")
+
+
+class CommitStalled(RuntimeError):
+    """An operation exceeded the resubmission cap — indicates a logic bug,
+    since under the namespace conventions every operation eventually
+    becomes committable."""
+
+
+@dataclass
+class OpMessage:
+    """One queued metadata mutation (paper: path + op info + timestamp)."""
+
+    op: str                      # create | mkdir | rm
+    path: str
+    mode: int = 0o644
+    uid: int = 1000
+    gid: int = 1000
+    timestamp: float = 0.0
+    epoch: int = 0
+    client_id: int = -1
+    retries: int = 0
+    #: Generation tag: the provisional ino of the cache record this
+    #: operation belongs to.  A name can be created, removed, and
+    #: recreated; post-commit cache bookkeeping must only touch its own
+    #: generation, or a late rm commit would delete the *new* file's
+    #: record (and a late create commit would mark it committed).
+    gen_ino: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op not in INDEPENDENT_OPS:
+            raise ValueError(f"only independent ops ride the queue, got"
+                             f" {self.op!r}")
+
+
+@dataclass
+class BarrierMessage:
+    """Barrier marker: 'everything this client did in `epoch` is queued'."""
+
+    epoch: int
+    node_id: int
+
+
+class CommitProcess:
+    """Per-node subscriber that applies queued operations to the DFS."""
+
+    MAX_RETRIES = 10_000
+
+    def __init__(self, region, node, dfs_client):
+        self.region = region
+        self.node = node
+        self.env = region.env
+        self.costs = region.cluster.costs
+        self.queue = region.queues.route(node.node_id)
+        self.dfs_client = dfs_client
+        # Join at the region's current epoch: a process added by elastic
+        # growth (after quiesce) must not wait for barrier epochs that
+        # completed before it existed.
+        self.current_epoch = region.client_epoch
+        self._barrier_counts: Dict[int, int] = {}
+        self._pending: Deque[OpMessage] = deque()      # current-epoch retries
+        self._future: Dict[int, List[Any]] = {}        # epoch -> held msgs
+        # stats
+        self.committed = 0
+        self.discarded = 0
+        self.resubmissions = 0
+        self.barriers_passed = 0
+        self._process = None
+        self._in_flight = 0
+        #: Set by failure injection; the interrupt that actually stops the
+        #: loop is delivered on the next simulation step, so recovery code
+        #: keys off this flag rather than the process's alive state.
+        self.killed = False
+        self.region.commit_processes.append(self)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self):
+        """Spawn the commit loop as a DES process; returns the Process."""
+        self._process = self.env.process(
+            self.run(), label=f"commit:{self.region.name}:{self.node.name}")
+        return self._process
+
+    @property
+    def idle(self) -> bool:
+        """No queued, held, retrying, or in-flight work."""
+        return (len(self.queue) == 0 and not self._pending
+                and not any(self._future.values())
+                and self._in_flight == 0)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> Generator[Event, Any, None]:
+        """Commit loop; dies cleanly (dropping state) on node failure."""
+        from repro.sim.core import Interrupt
+
+        try:
+            yield from self._loop()
+        except Interrupt:
+            # Node crash (§III.G): whatever was queued or in flight here is
+            # lost; isolation means only this region is affected.
+            self._pending.clear()
+            self._future.clear()
+            self._barrier_counts.clear()
+            self._in_flight = 0
+
+    def _loop(self) -> Generator[Event, Any, None]:
+        closing = False
+        while True:
+            # Barrier: local epoch fully drained -> rendezvous region-wide.
+            if (self._barrier_counts.get(self.current_epoch, 0)
+                    >= self.region.expected_barrier_messages(
+                        self.node.node_id)
+                    and not self._pending):
+                epoch = self.current_epoch
+                gen = yield self.region.commit_barrier.arrive()
+                # All commit processes have drained this epoch.
+                self.region.signal_barrier_complete(gen)
+                self._barrier_counts.pop(epoch, None)
+                self.current_epoch += 1
+                self.barriers_passed += 1
+                self.region.tracer.emit(self.env.now,
+                                        f"commit:{self.node.name}",
+                                        "barrier", f"epoch {epoch} done")
+                # Release operations held for the new epoch.
+                for msg in self._future.pop(self.current_epoch, []):
+                    yield from self._dispatch(msg)
+                continue
+
+            if len(self.queue) > 0 or (not self._pending and not closing):
+                try:
+                    msg = yield self.queue.get()
+                except QueueClosed:
+                    closing = True
+                    continue
+                yield from self._dispatch(msg)
+            elif self._pending:
+                # Nothing new; give blocked dependencies a beat, then retry.
+                yield self.env.timeout(
+                    self.region.config.commit_retry_delay)
+                op = self._pending.popleft()
+                self._in_flight += 1
+                try:
+                    yield from self._try_commit(op)
+                finally:
+                    self._in_flight -= 1
+            else:
+                # closing and fully drained
+                return
+
+    def _dispatch(self, msg: Any) -> Generator[Event, Any, None]:
+        if isinstance(msg, BarrierMessage):
+            self._barrier_counts[msg.epoch] = \
+                self._barrier_counts.get(msg.epoch, 0) + 1
+            return
+        if msg.epoch > self.current_epoch:
+            self._future.setdefault(msg.epoch, []).append(msg)
+            return
+        self._in_flight += 1
+        try:
+            yield from self._try_commit(msg)
+        finally:
+            self._in_flight -= 1
+
+    # -- committing one operation ------------------------------------------------
+    def _try_commit(self, op: OpMessage) -> Generator[Event, Any, None]:
+        if self.costs.commit_queue_pop > 0:
+            yield self.env.timeout(self.costs.commit_queue_pop)
+        # Paper §III.D.1: discard creations inside removed directories.
+        # Only ops older than the removal are discarded; later re-creations
+        # of the same names are legitimate work.
+        if self.region.inside_removed_subtree(op.path, op.timestamp):
+            self.discarded += 1
+            self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
+                                    "discard", f"{op.op} {op.path}")
+            return
+        # The mode may have changed since the op was queued (chmod on a
+        # not-yet-committed entry); the cache record of this generation is
+        # authoritative.
+        mode = op.mode
+        if op.op in ("mkdir", "create"):
+            record = self.region.cache.peek(op.path)
+            if record is not None and record.get("ino") == op.gen_ino:
+                mode = record.get("mode", mode)
+        try:
+            if op.op == "mkdir":
+                yield from self.dfs_client.mkdir(op.path, mode=mode)
+            elif op.op == "create":
+                yield from self.dfs_client.create(op.path, mode=mode)
+            elif op.op == "rm":
+                yield from self.dfs_client.unlink(op.path)
+            else:  # pragma: no cover - OpMessage validates op names
+                raise ValueError(op.op)
+        except FileExists:
+            # The name is occupied.  Either *this generation* was
+            # materialized out of band (small-file threshold crossing
+            # creates directly and flips the committed flag — check the
+            # cache, matching on the generation tag), or an older same-name
+            # file awaits a pending rm in another queue — resubmit until
+            # that rm lands (plain EEXIST-as-success would commit the
+            # recreate *before* the remove and converge to the wrong
+            # namespace).
+            record = self.region.cache.peek(op.path)
+            if (record is not None and record.get("committed")
+                    and record.get("ino") == op.gen_ino):
+                pass  # this generation is on the DFS; fall through
+            else:
+                yield from self._resubmit(op)
+                return
+        except (FileNotFound, NotADirectory):
+            # Namespace conventions not yet satisfied — usually the parent
+            # creation is pending in some queue: resubmit (§III.E).  But a
+            # creation under a removed subtree whose parent has no cache
+            # record is an orphan: nothing queued anywhere can ever create
+            # its parent, so retrying is a livelock — discard it (the
+            # §III.D.1 discard rule extended to post-removal stragglers).
+            if (op.op in ("create", "mkdir")
+                    and self.region.inside_removed_subtree(op.path)
+                    and self.region.cache.peek(parent_of(op.path)) is None):
+                self.discarded += 1
+                self.region.tracer.emit(self.env.now,
+                                        f"commit:{self.node.name}",
+                                        "discard",
+                                        f"orphan {op.op} {op.path}")
+                return
+            yield from self._resubmit(op)
+            return
+        self.committed += 1
+        self.region.ops_committed += 1
+        self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
+                                "commit", f"{op.op} {op.path}")
+        yield from self._after_commit(op, committed_mode=mode)
+
+    def _resubmit(self, op: OpMessage) -> Generator[Event, Any, None]:
+        op.retries += 1
+        self.resubmissions += 1
+        if op.retries > self.MAX_RETRIES:
+            raise CommitStalled(f"{op.op} {op.path} exceeded"
+                                f" {self.MAX_RETRIES} resubmissions")
+        self._pending.append(op)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _after_commit(self, op: OpMessage,
+                      committed_mode: int = -1) -> Generator[Event, Any,
+                                                             None]:
+        """Post-commit bookkeeping on the cached (primary) copy.
+
+        All updates are generation-guarded: if the cache record now
+        belongs to a newer generation of the same name (the application
+        removed and recreated it while this commit was in flight), leave
+        it alone — the newer generation's own operations manage it.
+        """
+        cache = self.region.cache
+        if op.op == "rm":
+            # "removed files are marked and their cached metadata are
+            # deleted after the operations are committed."  Conditional on
+            # the generation: never delete a recreated entry's record.
+            yield from cache.delete_if_ino(self.node, op.path, op.gen_ino)
+            return
+        # create/mkdir: flip the committed flag; write back fsynced inline
+        # data that had been parked in a cache file (§III.D.2); reconcile a
+        # mode changed by chmod while the create was in flight.
+        shadow_size = 0
+        mode_drift = None
+
+        def mark_committed(record):
+            nonlocal shadow_size, mode_drift
+            if record.get("ino") != op.gen_ino:
+                return None  # newer generation owns this record now
+            record["committed"] = True
+            if record.get("shadow") and record.get("inline_data") is not None:
+                shadow_size = record["size"]
+                record["shadow"] = False
+            if committed_mode >= 0 and record["mode"] != committed_mode:
+                mode_drift = record["mode"]
+            return record
+
+        updated = yield from cache.update(self.node, op.path, mark_committed)
+        if updated is not None and shadow_size > 0:
+            yield from self.dfs_client.write(op.path, 0, shadow_size)
+        if updated is not None and mode_drift is not None:
+            yield from self.dfs_client.setattr(op.path, mode=mode_drift)

@@ -1,0 +1,72 @@
+"""Pacon configuration (the paper's initialization parameters, §III.B).
+
+An application configures Pacon with its workspace path and the nodes it
+runs on; everything else has defaults matching the prototype in the paper
+(4 KB small-file threshold, parent checking on, Linux-like default
+permissions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.permissions import PermissionSpec
+
+__all__ = ["PaconConfig"]
+
+
+@dataclass
+class PaconConfig:
+    """Per-region configuration."""
+
+    #: Root directory of the application's workspace (the consistent region).
+    workspace: str = "/workspace"
+
+    #: System user the application's clients run as (§II.A: one user per app).
+    uid: int = 1000
+    gid: int = 1000
+
+    #: Files up to this many bytes (metadata + data) are stored inline with
+    #: their metadata in the distributed cache (§III.D.2).
+    small_file_threshold: int = 4 * 1024
+
+    #: Check that the parent directory exists before create/mkdir.  The
+    #: paper allows applications that guarantee correct creation order to
+    #: turn this off (§III.C, last paragraph).
+    parent_check: bool = True
+
+    #: Predefined permission information for the workspace (§III.C).  When
+    #: None, Pacon applies Linux-like defaults: everything in the workspace
+    #: readable/writable/executable by the creating user.
+    permissions: Optional[PermissionSpec] = None
+
+    #: Distributed-cache capacity per node, in bytes (§III.F sizes a 500 MB
+    #: cache for >10M entries).
+    cache_capacity_bytes: int = 512 * 1024 * 1024
+
+    #: Eviction trips when a shard's usage crosses the high watermark and
+    #: frees entries until usage falls to the target (§III.F).
+    eviction_high_watermark: float = 0.90
+    eviction_target: float = 0.70
+
+    #: Delay between commit retries when an operation does not yet satisfy
+    #: the namespace conventions (parent not committed yet).
+    commit_retry_delay: float = 50e-6
+
+    #: Optional periodic checkpoint interval in simulated seconds (§III.G;
+    #: checkpointing is optional and application-driven).
+    checkpoint_interval: Optional[float] = None
+
+    #: Clients per node (used when a deployment auto-creates clients).
+    clients_per_node: int = 20
+
+    def __post_init__(self) -> None:
+        if self.small_file_threshold < 0:
+            raise ValueError("small_file_threshold must be >= 0")
+        if not (0.0 < self.eviction_target
+                < self.eviction_high_watermark <= 1.0):
+            raise ValueError(
+                "need 0 < eviction_target < eviction_high_watermark <= 1")
+        if self.cache_capacity_bytes <= 0:
+            raise ValueError("cache_capacity_bytes must be positive")

@@ -1,0 +1,71 @@
+"""Failure injection for client nodes (§III.G).
+
+A failed client node loses (a) the cache shard it hosted — part of the
+region's *primary* metadata copy — and (b) every uncommitted operation
+sitting in its commit queue.  The blast radius is exactly one consistent
+region; other regions' caches and queues are untouched, which the tests
+assert.
+
+Recovery = bring the node back, roll the region subtree back to the latest
+checkpoint, and rebuild the cache (:class:`repro.core.checkpoint.CheckpointManager`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FailureReport", "fail_node", "recover_node"]
+
+
+@dataclass
+class FailureReport:
+    """What a node failure destroyed."""
+
+    node_name: str
+    region_name: str
+    lost_cache_entries: int
+    lost_queued_ops: int
+
+
+def fail_node(region, node) -> FailureReport:
+    """Crash ``node``: wipe its shard, drop its queued and in-flight ops,
+    kill its commit process, and take its NIC offline."""
+    if node not in region.nodes:
+        raise ValueError(f"node {node.name} not in region {region.name}")
+    node.fail()
+    lost_cache = 0
+    for shard in region.shards:
+        if shard.node is node:
+            lost_cache += len(shard.kv)
+            shard.kv.flush_all()
+    queue = region.queues.route(node.node_id)
+    lost_ops = len(queue.drain())
+    for cp in region.commit_processes:
+        if cp.node is node:
+            lost_ops += cp._in_flight + len(cp._pending) + \
+                sum(len(v) for v in cp._future.values())
+            if cp._process is not None and cp._process.is_alive:
+                cp.killed = True
+                cp._process.interrupt("node-failure")
+    return FailureReport(
+        node_name=node.name,
+        region_name=region.name,
+        lost_cache_entries=lost_cache,
+        lost_queued_ops=lost_ops,
+    )
+
+
+def recover_node(region, node, restart_commit: bool = True) -> None:
+    """Bring a node back up (cache shard empty, queue empty) and restart
+    its commit process."""
+    if node not in region.nodes:
+        raise ValueError(f"node {node.name} not in region {region.name}")
+    node.recover()
+    if restart_commit:
+        for cp in region.commit_processes:
+            if cp.node is node and (cp.killed or cp._process is None
+                                    or not cp._process.is_alive):
+                # The kill interrupt (scheduled at higher priority) stops
+                # the old loop before this fresh one's bootstrap runs.
+                cp.killed = False
+                cp.start()

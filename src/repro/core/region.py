@@ -1,0 +1,289 @@
+"""Consistent regions: the unit of partial consistency (§III.A).
+
+A region is one application workspace: a subtree of the global namespace,
+the set of nodes the application runs on, a distributed metadata cache
+sharded over those nodes, per-node commit queues feeding commit processes,
+and the barrier-epoch machinery that serializes dependent operations
+(§III.E).
+
+Regions are isolated from each other — different regions have disjoint
+caches and queues, which is both the scalability mechanism (Fig. 8) and
+the failure-isolation property (§III.G).  ``merge`` connects regions so
+clients of one can *read* the other's cache (§III.D.4: "Currently, Pacon
+only supports read-only access to the merged consistent region").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cache import CacheShard, DistributedCache
+from repro.core.config import PaconConfig
+from repro.core.permissions import RegionPermissions
+from repro.dfs.namespace import is_within, normalize_path
+from repro.mq.queue import QueueGroup
+from repro.sim.core import Event
+from repro.sim.network import Cluster, Node
+from repro.sim.resources import Barrier
+
+__all__ = ["ConsistentRegion", "RegionManager", "ReadOnlyRegion"]
+
+
+class ReadOnlyRegion(PermissionError):
+    """Write attempted through a merged (read-only) region."""
+
+
+class ConsistentRegion:
+    """State and coordination for one application workspace."""
+
+    def __init__(self, cluster: Cluster, dfs, config: PaconConfig,
+                 nodes: List[Node], name: str = ""):
+        if not nodes:
+            raise ValueError("a region needs at least one node")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.dfs = dfs
+        self.config = config
+        self.workspace = normalize_path(config.workspace)
+        self.name = name or self.workspace
+        self.nodes = list(nodes)
+        # Distributed cache: one shard per region node.
+        self.shards = [
+            CacheShard(cluster, node, config.cache_capacity_bytes,
+                       name=f"{self.name}.cache[{node.name}]")
+            for node in self.nodes
+        ]
+        self.cache = DistributedCache(self.shards)
+        # Batch permissions (predefined or Linux-like default, §III.C).
+        if config.permissions is not None:
+            self.permissions = RegionPermissions(self.workspace,
+                                                 config.permissions)
+        else:
+            self.permissions = RegionPermissions.linux_like_default(
+                self.workspace, config.uid, config.gid)
+        # Commit queues: one per node (Fig. 5).
+        self.queues = QueueGroup(self.env, name=f"{self.name}.commitq")
+        for node in self.nodes:
+            self.queues.add_node(node.node_id)
+        # Barrier-epoch machinery (§III.E).
+        self.client_epoch = 0
+        self.commit_barrier = Barrier(self.env, parties=len(self.nodes),
+                                      name=f"{self.name}.barrier")
+        self._barrier_done: Dict[int, Event] = {}
+        # Clients per node (the commit process needs the local count to
+        # know when a barrier epoch is fully flushed, Fig. 6).
+        self.clients_on_node: Dict[int, int] = {n.node_id: 0 for n in nodes}
+        self._next_client_id = 0
+        # Subtrees removed by committed rmdirs: commit processes discard
+        # pending creations inside them (§III.D.1).
+        self.removed_subtrees: List[Tuple[str, int]] = []
+        # Merged regions reachable for read-only access (§III.D.4).
+        self.merged: List["ConsistentRegion"] = []
+        # Commit processes register here (deploy wires them).
+        self.commit_processes: List = []
+        # Optional structured tracing (repro.sim.trace); NULL by default so
+        # the hot path pays nothing.
+        from repro.sim.trace import NULL_TRACER
+        self.tracer = NULL_TRACER
+        # Shadow directory on the DFS for fsync-before-create cache files
+        # (§III.D.2); the deployment materializes it.
+        safe = self.workspace.strip("/").replace("/", "_") or "root"
+        self.dfs_shadow_dir = f"/.pacon/{safe}"
+        self._next_provisional_ino = 1 << 30
+        # stats
+        self.ops_submitted = 0
+        self.ops_committed = 0
+        self.barrier_epochs_completed = 0
+
+    def alloc_provisional_ino(self) -> int:
+        """Region-unique ino for entries that only exist in the cache yet."""
+        ino = self._next_provisional_ino
+        self._next_provisional_ino += 1
+        return ino
+
+    # -- membership -----------------------------------------------------------
+    def register_client(self, node: Node) -> int:
+        if node.node_id not in self.clients_on_node:
+            raise ValueError(
+                f"node {node.name} is not a member of region {self.name}")
+        self.clients_on_node[node.node_id] += 1
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        return client_id
+
+    def total_clients(self) -> int:
+        return sum(self.clients_on_node.values())
+
+    # -- coverage ---------------------------------------------------------------
+    def covers(self, path: str) -> bool:
+        return is_within(path, self.workspace)
+
+    def covering_region(self, path: str) -> Optional["ConsistentRegion"]:
+        """This region, a merged region, or None (redirect to DFS)."""
+        if self.covers(path):
+            return self
+        for other in self.merged:
+            if other.covers(path):
+                return other
+        return None
+
+    # -- elasticity (§III.A Benefit 2) ------------------------------------------------
+    def add_node(self, node: Node) -> "CacheShard":
+        """Grow the region onto another node.
+
+        Pacon services launch with the application's clients, so a region
+        can expand when the scheduler gives the application more nodes.
+        The new shard joins the consistent-hash ring (moving ~1/N of the
+        key space to it) and gets its own commit queue.
+
+        Use :meth:`repro.core.deploy.PaconDeployment.grow_region`, which
+        wraps this with the required quiesce (an uncommitted entry whose
+        key moved would otherwise become unreachable) and migrates the
+        moved records onto the new shard.
+        """
+        if node in self.nodes:
+            raise ValueError(f"node {node.name} already in region"
+                             f" {self.name}")
+        shard = CacheShard(self.cluster, node,
+                           self.config.cache_capacity_bytes,
+                           name=f"{self.name}.cache[{node.name}]")
+        self.nodes.append(node)
+        self.shards.append(shard)
+        self.cache.ring.add(shard)
+        self.cache.shards.append(shard)
+        self.queues.add_node(node.node_id)
+        self.clients_on_node[node.node_id] = 0
+        # The region-wide commit barrier now has one more party.
+        self.commit_barrier.parties += 1
+        return shard
+
+    # -- merging (§III.D.4) ----------------------------------------------------------
+    def merge(self, other: "ConsistentRegion", mutual: bool = True) -> None:
+        """Connect regions so clients can read each other's workspace.
+
+        Step 1 of the paper (exchange basic information) is the object
+        reference; step 2 (establish connections) is modeled by the
+        network paths to the other region's shards, which are used on
+        every read.
+        """
+        if other is self:
+            raise ValueError("cannot merge a region with itself")
+        if is_within(other.workspace, self.workspace) or \
+                is_within(self.workspace, other.workspace):
+            raise ValueError(
+                "overlapping workspaces are one region, not a merge"
+                " (paper §III.B case 3)")
+        if other not in self.merged:
+            self.merged.append(other)
+        if mutual and self not in other.merged:
+            other.merged.append(self)
+
+    # -- barrier epochs (§III.E) ---------------------------------------------------------
+    def trigger_barrier(self) -> Tuple[int, Event]:
+        """Start a barrier epoch for a dependent operation.
+
+        Pushes one barrier message per client into each node's commit
+        queue (every client "generates a barrier message" — the shared
+        epoch counter makes this an atomic instant in the simulation) and
+        bumps the client epoch.  Returns ``(epoch, done_event)`` where the
+        event fires once every commit process has drained that epoch.
+        """
+        from repro.core.commit import BarrierMessage
+
+        epoch = self.client_epoch
+        self.client_epoch += 1
+        for node in self.nodes:
+            queue = self.queues.route(node.node_id)
+            for _ in range(max(1, self.clients_on_node[node.node_id])):
+                queue.publish(BarrierMessage(epoch=epoch,
+                                             node_id=node.node_id))
+        done = self._barrier_done.setdefault(
+            epoch, self.env.event(name=f"{self.name}.barrier[{epoch}]"))
+        return epoch, done
+
+    def barrier_done_event(self, epoch: int) -> Event:
+        return self._barrier_done.setdefault(
+            epoch, self.env.event(name=f"{self.name}.barrier[{epoch}]"))
+
+    def signal_barrier_complete(self, epoch: int) -> None:
+        """Called by the commit process that completes the epoch barrier."""
+        ev = self._barrier_done.setdefault(
+            epoch, self.env.event(name=f"{self.name}.barrier[{epoch}]"))
+        if not ev.triggered:
+            self.barrier_epochs_completed += 1
+            ev.succeed(epoch)
+
+    def expected_barrier_messages(self, node_id: int) -> int:
+        return max(1, self.clients_on_node[node_id])
+
+    # -- removed-subtree bookkeeping -----------------------------------------------------
+    def note_removed_subtree(self, path: str) -> None:
+        """Record a committed rmdir at the current instant.
+
+        Only operations *older* than the removal are doomed (they raced
+        with the rmdir and their parent is gone); a later re-creation of
+        the same name is legitimate, so the discard check is
+        timestamp-bounded.
+        """
+        self.removed_subtrees.append((normalize_path(path), self.env.now))
+
+    def inside_removed_subtree(self, path: str,
+                               timestamp: Optional[float] = None) -> bool:
+        """Was ``path`` inside a subtree removed after ``timestamp``?"""
+        for removed, removed_at in self.removed_subtrees:
+            if is_within(path, removed):
+                if timestamp is None or timestamp <= removed_at:
+                    return True
+        return False
+
+    # -- shutdown ----------------------------------------------------------------
+    def close(self) -> None:
+        """Close commit queues (commit processes drain and exit)."""
+        self.queues.close_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ConsistentRegion {self.name} nodes={len(self.nodes)}"
+                f" clients={self.total_clients()}>")
+
+
+class RegionManager:
+    """Registry of regions; routes paths and applies the overlap rule."""
+
+    def __init__(self):
+        self._regions: Dict[str, ConsistentRegion] = {}
+
+    def register(self, region: ConsistentRegion) -> ConsistentRegion:
+        """Register a region, applying §III.B case 3 for overlaps.
+
+        If the new workspace lies inside an existing region's workspace,
+        the existing (larger) region is returned instead of registering a
+        new one.  An existing region nested inside the new workspace is an
+        error — the outer application must be configured first.
+        """
+        ws = region.workspace
+        for existing_ws, existing in self._regions.items():
+            if is_within(ws, existing_ws):
+                return existing
+            if is_within(existing_ws, ws):
+                raise ValueError(
+                    f"workspace {ws} contains existing region"
+                    f" {existing_ws}; configure the outer application"
+                    " first (paper §III.B case 3)")
+        self._regions[ws] = region
+        return region
+
+    def region_for(self, path: str) -> Optional[ConsistentRegion]:
+        """Longest-prefix region covering ``path``, or None."""
+        path = normalize_path(path)
+        best: Optional[ConsistentRegion] = None
+        for ws, region in self._regions.items():
+            if is_within(path, ws):
+                if best is None or len(ws) > len(best.workspace):
+                    best = region
+        return best
+
+    def regions(self) -> List[ConsistentRegion]:
+        return list(self._regions.values())
+
+    def __len__(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,54 @@
+"""The underlying distributed file system (BeeGFS-equivalent substrate).
+
+Pacon is a library layered *on top of* an existing DFS; this package is
+that DFS.  It provides:
+
+* :mod:`repro.dfs.namespace` — a POSIX-like hierarchical namespace with
+  inodes, dentries, mode-bit permissions, and layer-by-layer path
+  traversal (the thing partial consistency and batch permissions optimize
+  around),
+* :mod:`repro.dfs.mds` — the centralized metadata server as a
+  capacity-limited DES service (the saturation point in Figs. 1/11),
+* :mod:`repro.dfs.storage` — striped data servers,
+* :mod:`repro.dfs.client` — a DFS client with a strong-consistency
+  client-side metadata cache (cached entries are revalidated per use),
+* :mod:`repro.dfs.beegfs` — deployment glue that wires the above into a
+  BeeGFS-like cluster (1 MDS + N data servers by default).
+"""
+
+from repro.dfs.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    FSError,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+    PermissionDenied,
+)
+from repro.dfs.inode import FileType, Inode
+from repro.dfs.namespace import Namespace, split_path, normalize_path
+from repro.dfs.mds import MetadataServer
+from repro.dfs.storage import DataServer
+from repro.dfs.client import DFSClient
+from repro.dfs.beegfs import BeeGFS
+
+__all__ = [
+    "BeeGFS",
+    "DataServer",
+    "DFSClient",
+    "DirectoryNotEmpty",
+    "FileExists",
+    "FileNotFound",
+    "FileType",
+    "FSError",
+    "Inode",
+    "InvalidPath",
+    "IsADirectory",
+    "MetadataServer",
+    "Namespace",
+    "NotADirectory",
+    "PermissionDenied",
+    "normalize_path",
+    "split_path",
+]

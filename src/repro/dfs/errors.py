@@ -1,0 +1,84 @@
+"""File-system error taxonomy (errno-flavoured).
+
+The commit module's correctness argument (§III.E) leans on the DFS
+*rejecting* operations that violate the namespace conventions; these
+exceptions are those rejections.  Each carries the offending path and an
+errno-style symbolic code so tests can assert on semantics rather than
+message text.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FSError",
+    "FileNotFound",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "PermissionDenied",
+    "DirectoryNotEmpty",
+    "InvalidPath",
+    "StaleHandle",
+]
+
+
+class FSError(Exception):
+    """Base class for all file-system errors."""
+
+    code = "EIO"
+
+    def __init__(self, path: str, detail: str = ""):
+        self.path = path
+        self.detail = detail
+        msg = f"[{self.code}] {path}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class FileNotFound(FSError):
+    """A path component or the target does not exist."""
+
+    code = "ENOENT"
+
+
+class FileExists(FSError):
+    """Exclusive create on an existing name."""
+
+    code = "EEXIST"
+
+
+class NotADirectory(FSError):
+    """A non-final path component is not a directory."""
+
+    code = "ENOTDIR"
+
+
+class IsADirectory(FSError):
+    """File operation applied to a directory."""
+
+    code = "EISDIR"
+
+
+class PermissionDenied(FSError):
+    """Mode bits forbid the requested access."""
+
+    code = "EACCES"
+
+
+class DirectoryNotEmpty(FSError):
+    """rmdir on a directory with children."""
+
+    code = "ENOTEMPTY"
+
+
+class InvalidPath(FSError):
+    """Malformed path (empty, relative, embedded NUL, ...)."""
+
+    code = "EINVAL"
+
+
+class StaleHandle(FSError):
+    """Cached handle refers to a removed object."""
+
+    code = "ESTALE"

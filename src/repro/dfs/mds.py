@@ -1,0 +1,161 @@
+"""The centralized metadata server as a DES actor.
+
+One :class:`MetadataServer` is a capacity-limited RPC service over the
+(possibly shared) :class:`~repro.dfs.namespace.Namespace`.  Its worker pool
+and service times are where centralized metadata processing saturates —
+Figs. 1 and 11 of the paper are about exactly this queueing point.
+
+A multi-MDS deployment shares one Namespace object between servers (the
+namespace is the *logical* metadata state; which server answers for which
+directory is a deployment policy in :mod:`repro.dfs.beegfs`).  Sharing the
+structure keeps semantics exact while each server charges its own queueing
+and service time, mirroring how BeeGFS shards directories over MDS targets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.dfs.namespace import Namespace
+from repro.sim.core import Event
+from repro.sim.network import Cluster, Node, Service
+
+__all__ = ["MetadataServer"]
+
+
+class MetadataServer(Service):
+    """RPC façade over a Namespace, with BeeGFS-class service times.
+
+    The server keeps an LRU inode/dentry cache: lookups of entries that
+    fell out of it pay an extra disk read.  Large namespaces (the deep
+    fanout-5 trees of Figs. 2/9) overflow the cache under random access,
+    which is what makes BeeGFS's depth penalty superlinear on real
+    hardware.
+    """
+
+    def __init__(self, cluster: Cluster, node: Node, namespace: Namespace,
+                 name: str = "mds", workers: Optional[int] = None):
+        super().__init__(cluster, node, name,
+                         workers=workers or cluster.costs.mds_workers)
+        self.namespace = namespace
+        self._inode_cache: OrderedDict[str, None] = OrderedDict()
+        self.inode_cache_hits = 0
+        self.inode_cache_misses = 0
+
+    def _touch_inode_cache(self, path: str) -> float:
+        """LRU access; returns the extra cost of a miss (0 on hit)."""
+        capacity = self.costs.mds_inode_cache_entries
+        if capacity <= 0:
+            return 0.0
+        if path in self._inode_cache:
+            self._inode_cache.move_to_end(path)
+            self.inode_cache_hits += 1
+            return 0.0
+        self.inode_cache_misses += 1
+        self._inode_cache[path] = None
+        while len(self._inode_cache) > capacity:
+            self._inode_cache.popitem(last=False)
+        return self.costs.mds_inode_cache_miss
+
+    # -- read path -----------------------------------------------------------
+    def handle_lookup(self, dir_path: str, name: str, uid: int = 0,
+                      gid: int = 0) -> Generator[Event, Any, Dict]:
+        """Resolve one dentry: ``dir_path/name`` -> child inode record.
+
+        This is the per-component RPC of hierarchical path traversal; the
+        client walks the path issuing one of these per level (§II.C).
+        """
+        child_path = (dir_path.rstrip("/") + "/" + name) if name else dir_path
+        yield self.env.timeout(self.costs.mds_lookup_service +
+                               self._touch_inode_cache(child_path))
+        inode = self.namespace.getattr(child_path, uid, gid, check_perms=True)
+        return inode.to_record()
+
+    def handle_getattr(self, path: str, uid: int = 0,
+                       gid: int = 0) -> Generator[Event, Any, Dict]:
+        yield self.env.timeout(self.costs.mds_read_service +
+                               self._touch_inode_cache(path))
+        return self.namespace.getattr(path, uid, gid,
+                                      check_perms=True).to_record()
+
+    def handle_readdir(self, path: str, uid: int = 0,
+                       gid: int = 0) -> Generator[Event, Any, List[str]]:
+        names = self.namespace.readdir(path, uid, gid, check_perms=True)
+        yield self.env.timeout(self.costs.mds_readdir_base +
+                               self.costs.mds_readdir_per_entry * len(names))
+        return names
+
+    def handle_exists(self, path: str) -> Generator[Event, Any, bool]:
+        yield self.env.timeout(self.costs.mds_lookup_service)
+        return self.namespace.exists(path)
+
+    # -- write path ------------------------------------------------------------
+    def handle_mkdir(self, path: str, mode: int = 0o755, uid: int = 0,
+                     gid: int = 0,
+                     check_perms: bool = True) -> Generator[Event, Any, Dict]:
+        yield self.env.timeout(self.costs.mds_op_service)
+        inode = self.namespace.mkdir(path, mode, uid, gid, now=self.env.now,
+                                     check_perms=check_perms)
+        return inode.to_record()
+
+    def handle_create(self, path: str, mode: int = 0o644, uid: int = 0,
+                      gid: int = 0,
+                      check_perms: bool = True) -> Generator[Event, Any, Dict]:
+        yield self.env.timeout(self.costs.mds_op_service)
+        inode = self.namespace.create(path, mode, uid, gid, now=self.env.now,
+                                      check_perms=check_perms)
+        return inode.to_record()
+
+    def handle_unlink(self, path: str, uid: int = 0, gid: int = 0,
+                      check_perms: bool = True) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.costs.mds_op_service)
+        self.namespace.unlink(path, uid, gid, now=self.env.now,
+                              check_perms=check_perms)
+
+    def handle_rmdir(self, path: str, uid: int = 0, gid: int = 0,
+                     check_perms: bool = True,
+                     recursive: bool = False) -> Generator[Event, Any, int]:
+        yield self.env.timeout(self.costs.mds_op_service)
+        removed = self.namespace.rmdir(path, uid, gid, now=self.env.now,
+                                       check_perms=check_perms,
+                                       recursive=recursive)
+        if removed > 1:
+            yield self.env.timeout(self.costs.mds_remove_per_entry *
+                                   (removed - 1))
+        return removed
+
+    def handle_setattr(self, path: str, uid: int = 0, gid: int = 0,
+                       check_perms: bool = True,
+                       **attrs) -> Generator[Event, Any, Dict]:
+        yield self.env.timeout(self.costs.mds_op_service)
+        inode = self.namespace.setattr(path, uid, gid, now=self.env.now,
+                                       check_perms=check_perms, **attrs)
+        return inode.to_record()
+
+    def handle_rename(self, src: str, dst: str, uid: int = 0, gid: int = 0,
+                      check_perms: bool = True) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.costs.mds_op_service)
+        self.namespace.rename(src, dst, uid, gid, now=self.env.now,
+                              check_perms=check_perms)
+
+    # -- checkpoint support (§III.G) --------------------------------------------
+    def handle_export_subtree(self, path: str) -> Generator[Event, Any, Dict]:
+        snapshot = self.namespace.export_subtree(path)
+        entries = _count_tree(snapshot["tree"])
+        yield self.env.timeout(self.costs.mds_read_service +
+                               self.costs.mds_readdir_per_entry * entries)
+        return snapshot
+
+    def handle_restore_subtree(self, checkpoint: Dict) -> Generator[Event, Any, int]:
+        entries = _count_tree(checkpoint["tree"])
+        yield self.env.timeout(self.costs.mds_op_service +
+                               self.costs.mds_remove_per_entry * entries)
+        return self.namespace.restore_subtree(checkpoint, now=self.env.now)
+
+
+def _count_tree(node: Dict) -> int:
+    total = 1
+    for child in node.get("children", {}).values():
+        total += _count_tree(child)
+    return total

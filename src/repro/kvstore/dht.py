@@ -1,0 +1,138 @@
+"""Key placement: consistent hashing ring and a simple mod-N partitioner.
+
+Pacon "uses full path as the key to store the metadata, and distributes
+them in the distributed cache by DHT" (§III.A).  The consistent-hash ring
+with virtual nodes is the classic Memcached-client placement algorithm:
+deterministic, balanced, and with minimal key movement when the membership
+changes (which matters when consistent regions grow/shrink with the
+application's node allocation).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Generic, List, Sequence, TypeVar
+
+__all__ = ["ConsistentHashRing", "HashPartitioner", "stable_hash64"]
+
+N = TypeVar("N")
+
+
+def stable_hash64(data: str) -> int:
+    """Process-invariant 64-bit hash (md5-based, like libmemcached ketama)."""
+    digest = hashlib.md5(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class ConsistentHashRing(Generic[N]):
+    """Ketama-style consistent hashing with virtual nodes."""
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._ring: List[int] = []          # sorted vnode hashes
+        self._owners: Dict[int, N] = {}     # vnode hash -> member
+        self._members: List[N] = []
+
+    # -- membership --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> Sequence[N]:
+        return tuple(self._members)
+
+    def add(self, member: N, weight: int = 1) -> None:
+        if member in self._members:
+            raise ValueError(f"member already on ring: {member!r}")
+        self._members.append(member)
+        for v in range(self.vnodes * weight):
+            h = stable_hash64(f"{_member_key(member)}#{v}")
+            while h in self._owners:  # vanishing-probability collision
+                h = (h + 1) % (1 << 64)
+            self._owners[h] = member
+            bisect.insort(self._ring, h)
+
+    def remove(self, member: N) -> None:
+        if member not in self._members:
+            raise KeyError(f"member not on ring: {member!r}")
+        self._members.remove(member)
+        dead = [h for h, m in self._owners.items() if m == member]
+        for h in dead:
+            del self._owners[h]
+        self._ring = sorted(self._owners)
+
+    # -- lookup --------------------------------------------------------------
+    def lookup(self, key: str) -> N:
+        if not self._ring:
+            raise LookupError("empty hash ring")
+        h = stable_hash64(key)
+        idx = bisect.bisect_right(self._ring, h)
+        if idx == len(self._ring):
+            idx = 0
+        return self._owners[self._ring[idx]]
+
+    def lookup_n(self, key: str, n: int) -> List[N]:
+        """First ``n`` distinct members clockwise from the key's position."""
+        if not self._ring:
+            raise LookupError("empty hash ring")
+        n = min(n, len(self._members))
+        h = stable_hash64(key)
+        idx = bisect.bisect_right(self._ring, h)
+        out: List[N] = []
+        seen = set()
+        for step in range(len(self._ring)):
+            owner = self._owners[self._ring[(idx + step) % len(self._ring)]]
+            marker = id(owner)
+            if marker not in seen:
+                seen.add(marker)
+                out.append(owner)
+                if len(out) == n:
+                    break
+        return out
+
+    def distribution(self, keys: Sequence[str]) -> Dict[N, int]:
+        """Placement histogram over ``keys`` (used by balance tests)."""
+        counts: Dict[N, int] = {m: 0 for m in self._members}
+        for k in keys:
+            counts[self.lookup(k)] += 1
+        return counts
+
+
+class HashPartitioner(Generic[N]):
+    """Trivial ``hash(key) mod N`` placement (IndexFS-style server pick).
+
+    IndexFS partitions the namespace by hashing directory identities onto a
+    fixed server list; it re-shuffles wholesale when membership changes,
+    which is fine for its deployment model and a useful contrast with the
+    ring in ablation tests.
+    """
+
+    def __init__(self, members: Sequence[N]):
+        if not members:
+            raise ValueError("need at least one member")
+        self._members = list(members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> Sequence[N]:
+        return tuple(self._members)
+
+    def lookup(self, key: str) -> N:
+        return self._members[stable_hash64(key) % len(self._members)]
+
+    def index_of(self, key: str) -> int:
+        return stable_hash64(key) % len(self._members)
+
+
+def _member_key(member) -> str:
+    """A stable string identity for ring placement."""
+    for attr in ("name", "node_id"):
+        val = getattr(member, attr, None)
+        if val is not None:
+            return f"{type(member).__name__}:{val}"
+    return repr(member)

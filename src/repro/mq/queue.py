@@ -1,0 +1,132 @@
+"""FIFO pub/sub queues with close semantics and a per-node group.
+
+Semantics mirrored from ZeroMQ push/pull sockets as Pacon uses them:
+
+* publishes never block (unbounded buffering),
+* a single subscriber drains in FIFO order,
+* closing wakes blocked subscribers with :class:`QueueClosed` so commit
+  processes can shut down cleanly at the end of an application run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Store
+
+__all__ = ["MessageQueue", "QueueGroup", "QueueClosed"]
+
+
+class QueueClosed(Exception):
+    """Raised from a pending or subsequent ``get`` once the queue closes."""
+
+
+class MessageQueue:
+    """A single-subscriber FIFO message channel."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._store = Store(env, name=name)
+        self._closed = False
+        self._pending_gets: List[Event] = []
+        self.published = 0
+        self.delivered = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def publish(self, message: Any) -> None:
+        if self._closed:
+            raise QueueClosed(f"publish on closed queue {self.name!r}")
+        self.published += 1
+        self._store.put(message)
+
+    def get(self) -> Event:
+        """Event that fires with the next message (or fails QueueClosed)."""
+        if self._closed and len(self._store) == 0:
+            ev = self.env.event(name=f"get-closed:{self.name}")
+            ev.fail(QueueClosed(self.name))
+            return ev
+        ev = self._store.get()
+        if not ev.triggered:
+            self._pending_gets.append(ev)
+        else:
+            self.delivered += 1
+        ev.add_callback(self._on_delivery)
+        return ev
+
+    def _on_delivery(self, ev: Event) -> None:
+        if ev in self._pending_gets:
+            self._pending_gets.remove(ev)
+            if ev.exception is None:
+                self.delivered += 1
+
+    def close(self) -> None:
+        """Close the queue; buffered messages remain readable."""
+        if self._closed:
+            return
+        self._closed = True
+        pending, self._pending_gets = self._pending_gets, []
+        for ev in pending:
+            if not ev.triggered:
+                ev.fail(QueueClosed(self.name))
+
+    def backlog(self) -> List[Any]:
+        """Snapshot of undelivered messages (inspection only)."""
+        return self._store.peek_all()
+
+    def drain(self) -> List[Any]:
+        """Remove and return all undelivered messages (failure injection)."""
+        return self._store.drain()
+
+
+class QueueGroup:
+    """One queue per node, plus region-wide broadcast.
+
+    ``route(node)`` gives the queue a client on ``node`` publishes to (its
+    local commit process's queue).  ``broadcast`` pushes a control message
+    — e.g. the barrier messages of §III.E — to every queue in the group.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._queues: Dict[Any, MessageQueue] = {}
+
+    def add_node(self, node_key: Any) -> MessageQueue:
+        if node_key in self._queues:
+            raise ValueError(f"queue already exists for {node_key!r}")
+        q = MessageQueue(self.env, name=f"{self.name}[{node_key}]")
+        self._queues[node_key] = q
+        return q
+
+    def route(self, node_key: Any) -> MessageQueue:
+        try:
+            return self._queues[node_key]
+        except KeyError:
+            raise KeyError(f"no queue for node {node_key!r}") from None
+
+    def queues(self) -> Iterable[MessageQueue]:
+        return self._queues.values()
+
+    def __len__(self) -> int:
+        return len(self._queues)
+
+    def broadcast(self, message: Any) -> int:
+        """Publish ``message`` to every queue; returns the fan-out count."""
+        for q in self._queues.values():
+            q.publish(message)
+        return len(self._queues)
+
+    def close_all(self) -> None:
+        for q in self._queues.values():
+            q.close()
+
+    def total_backlog(self) -> int:
+        return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,430 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-based DES in the style of SimPy:
+
+* :class:`Environment` owns the simulation clock and the pending-event heap.
+* :class:`Event` is a one-shot future; processes wait on events by yielding
+  them.
+* :class:`Process` wraps a generator.  Each value the generator yields must
+  be an :class:`Event`; the process resumes when that event fires and
+  receives the event's value (or has the event's exception thrown into it).
+  A process is itself an event that succeeds with the generator's return
+  value, so processes can wait on each other.
+
+Determinism: ties in the event heap are broken by a monotonically increasing
+sequence number, so two runs with the same seed replay identically.  This is
+what makes the benchmark figures reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "run_sync",
+]
+
+# A process body is a generator that yields Events and returns a value.
+ProcessGenerator = Generator["Event", Any, Any]
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    Failure injection in the reproduction (client-node crashes, §III.G of
+    the paper) is built on this.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot future tied to an :class:`Environment`.
+
+    An event is *triggered* once, either with :meth:`succeed` (carrying a
+    value) or :meth:`fail` (carrying an exception).  Callbacks registered
+    before triggering run when the environment processes the event;
+    callbacks registered after triggering are scheduled immediately.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_scheduled", "name")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.name = name
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._scheduled = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (or begun running)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if self._exc is not None:
+            raise self._exc
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._exc = exc
+        self._value = None
+        self.env._schedule(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None:
+            self.callbacks.append(fn)
+        else:
+            # Already processed: run at the current time, next cycle.
+            self.env._schedule_callback(fn, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.env.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self.env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on completion."""
+
+    __slots__ = ("_generator", "_waiting_on", "label")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 label: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__};"
+                " did you forget to call the process function?")
+        super().__init__(env)
+        self.label = label
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at the current time.
+        boot = Event(env, name="process-bootstrap")
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return  # interrupting a finished process is a no-op
+        self.env._schedule_interrupt(self, Interrupt(cause))
+
+    # -- internal ------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the trigger event's outcome."""
+        if self.triggered:
+            return  # cancelled before start (interrupt won the race)
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if trigger._exc is not None:
+                target = self._generator.throw(trigger._exc)
+            else:
+                target = self._generator.send(trigger._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self._value = stop.value
+            self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self._exc = exc
+            self._value = None
+            self.env._schedule(self)
+            if not self.env._catch_process_errors:
+                raise
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.label or self._generator!r} yielded"
+                f" {target!r}; processes must yield Event instances"
+                " (use 'yield from' for sub-generators)")
+        if target.env is not self.env:
+            raise SimulationError("yielded event belongs to another Environment")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _deliver_interrupt(self, interrupt: Interrupt) -> None:
+        if self.triggered:
+            return
+        import inspect
+
+        if inspect.getgeneratorstate(self._generator) == "GEN_CREATED":
+            # Interrupted before the bootstrap ran (the generator never
+            # started): a throw would surface at the generator's first
+            # line, outside any try block.  Cancel the process instead —
+            # it completes with the interrupt as its outcome.
+            self._generator.close()
+            self._exc = interrupt
+            self._value = None
+            self.env._schedule(self)
+            return
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.processed:
+            # Detach from the event we were waiting on; it may still fire
+            # later but must no longer resume us with its value.
+            try:
+                waiting.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._waiting_on = None
+        carrier = Event(self.env, name="interrupt")
+        carrier._exc = interrupt
+        carrier._value = None
+        carrier.callbacks = None
+        self._resume(carrier)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.label or self._generator!r} {state}>"
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is a list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is (index, value)."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf needs at least one event")
+        for idx, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=idx: self._on_child(i, e))
+
+    def _on_child(self, idx: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+        else:
+            self.succeed((idx, ev._value))
+
+
+class Environment:
+    """The simulation clock, event heap, and process factory."""
+
+    def __init__(self, initial_time: float = 0.0,
+                 catch_process_errors: bool = False):
+        self.now = float(initial_time)
+        self._heap: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._catch_process_errors = catch_process_errors
+        self._event_count = 0
+
+    # -- factories -------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, label: str = "") -> Process:
+        return Process(self, generator, label=label)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    @property
+    def processed_events(self) -> int:
+        """Total events processed so far (kernel throughput metric)."""
+        return self._event_count
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, 0, self._seq, event))
+
+    def _schedule_callback(self, fn: Callable[[Event], None],
+                           event: Event) -> None:
+        """Run ``fn(event)`` for an already-processed event, ASAP."""
+        shadow = Event(self, name="late-callback")
+        shadow._value = event._value
+        shadow._exc = event._exc
+        shadow.callbacks = [lambda _s: fn(event)]
+        shadow._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, 0, self._seq, shadow))
+
+    def _schedule_interrupt(self, process: Process,
+                            interrupt: Interrupt) -> None:
+        shadow = Event(self, name="interrupt-carrier")
+        shadow._value = None
+        shadow.callbacks = [lambda _s: process._deliver_interrupt(interrupt)]
+        shadow._scheduled = True
+        self._seq += 1
+        # Priority -1: interrupts beat same-time ordinary events so that a
+        # killed node stops before processing messages stamped at the same
+        # instant.
+        heapq.heappush(self._heap, (self.now, -1, self._seq, shadow))
+
+    # -- main loop -------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on empty event heap")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self.now:  # pragma: no cover - kernel invariant
+            raise SimulationError("time went backwards")
+        self.now = t
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to heap exhaustion), a number (run to
+        that simulated time), or an :class:`Event` (run until it triggers
+        and return its value).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited"
+                        f" event triggered: {target!r} — deadlock?")
+                self.step()
+            return target.value
+        deadline = float(until)
+        if deadline < self.now:
+            raise ValueError(f"run(until={deadline}) is in the past "
+                             f"(now={self.now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+
+def run_sync(env: Environment, generator: ProcessGenerator,
+             label: str = "run_sync") -> Any:
+    """Spawn ``generator`` as a process and drive the env until it finishes.
+
+    This is the bridge between the synchronous public API and the DES: e.g.
+    ``PaconFS.mkdir`` wraps the protocol generator with ``run_sync`` so
+    library users never see the event loop.
+    """
+    proc = env.process(generator, label=label)
+    return env.run(until=proc)

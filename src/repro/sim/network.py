@@ -1,0 +1,212 @@
+"""Cluster and network model: nodes, message costs, RPC-style services.
+
+The fabric model is deliberately simple — uniform one-way latency plus
+bandwidth serialization plus per-message NIC occupancy at both endpoints —
+because the paper's performance story is about *where requests queue*
+(a centralized MDS vs. a spread of client-side cache nodes), not about
+topology.  NIC occupancy at the destination is what makes a hot server
+(e.g. the single BeeGFS MDS) saturate under fan-in, reproducing the
+flat scalability curves in Figs. 1 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.sim.core import Environment, Event
+from repro.sim.costs import CostModel
+from repro.sim.resources import Resource
+from repro.sim.rng import RngStreams
+from repro.sim.stats import StatsRegistry
+
+__all__ = ["Node", "NetworkParams", "Network", "Service", "Cluster"]
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Fabric constants extracted from a :class:`CostModel`."""
+
+    latency: float
+    msg_overhead: float
+    bandwidth: float
+    local_loopback: float
+
+    @classmethod
+    def from_costs(cls, costs: CostModel) -> "NetworkParams":
+        return cls(
+            latency=costs.net_latency,
+            msg_overhead=costs.net_msg_overhead,
+            bandwidth=costs.net_bandwidth,
+            local_loopback=costs.local_loopback,
+        )
+
+
+class Node:
+    """A cluster node: identity plus CPU and NIC contention points."""
+
+    def __init__(self, env: Environment, node_id: int, name: str,
+                 cores: int = 24, nic_channels: int = 2):
+        self.env = env
+        self.node_id = node_id
+        self.name = name
+        self.cores = cores
+        self.cpu = Resource(env, capacity=cores, name=f"{name}.cpu")
+        self.nic = Resource(env, capacity=nic_channels, name=f"{name}.nic")
+        self.alive = True
+
+    def compute(self, seconds: float) -> Generator[Event, Any, None]:
+        """Occupy one core for ``seconds``."""
+        if seconds <= 0:
+            return
+        yield from self.cpu.use(seconds)
+
+    def fail(self) -> None:
+        """Mark the node dead (failure-injection hook, §III.G)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return f"<Node {self.node_id}:{self.name} {state}>"
+
+
+class NodeDownError(ConnectionError):
+    """Raised when a message is sent to or from a failed node."""
+
+
+class Network:
+    """Uniform-fabric message transport between nodes."""
+
+    def __init__(self, env: Environment, params: NetworkParams):
+        self.env = env
+        self.params = params
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def transfer(self, src: Node, dst: Node,
+                 nbytes: int) -> Generator[Event, Any, None]:
+        """Deliver ``nbytes`` from ``src`` to ``dst``; yields until done."""
+        if not src.alive:
+            raise NodeDownError(f"source node {src.name} is down")
+        if not dst.alive:
+            raise NodeDownError(f"destination node {dst.name} is down")
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        p = self.params
+        if src is dst:
+            # Loopback still burns stack/CPU time and contends with real
+            # NIC traffic on the node (kernel TCP path).
+            if p.local_loopback > 0:
+                yield from src.nic.use(p.local_loopback)
+            return
+        wire = nbytes / p.bandwidth
+        # Sender NIC serializes the message onto the fabric.
+        yield from src.nic.use(p.msg_overhead + wire)
+        # Propagation.
+        if p.latency > 0:
+            yield self.env.timeout(p.latency)
+        # Receiver NIC processes the arrival; fan-in contention happens here.
+        yield from dst.nic.use(p.msg_overhead)
+        if not dst.alive:
+            raise NodeDownError(f"destination node {dst.name} died in flight")
+
+
+class Service:
+    """An RPC-style actor: a worker pool on a node plus handler methods.
+
+    Subclasses define generator methods named ``handle_<op>``.  Callers use
+    :meth:`request`, which charges the request hop, queues on the worker
+    pool, runs the handler, and charges the response hop.  Exceptions from
+    handlers are delivered to the caller after the response hop (errors
+    travel on the wire like any reply).
+    """
+
+    def __init__(self, cluster: "Cluster", node: Node, name: str,
+                 workers: int = 1):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.costs = cluster.costs
+        self.node = node
+        self.name = name
+        self.workers = Resource(cluster.env, capacity=workers,
+                                name=f"{name}.workers")
+        self.requests_served = 0
+        self.requests_by_method: Dict[str, int] = {}
+
+    def request(self, src: Node, method: str, *args,
+                req_size: Optional[int] = None,
+                resp_size: Optional[int] = None,
+                **kwargs) -> Generator[Event, Any, Any]:
+        """Full RPC round trip from ``src`` to this service."""
+        handler = getattr(self, "handle_" + method, None)
+        if handler is None:
+            raise AttributeError(f"{type(self).__name__} has no handler for"
+                                 f" {method!r}")
+        req_bytes = (self.costs.request_header_size
+                     if req_size is None else req_size)
+        resp_bytes = (self.costs.request_header_size
+                      if resp_size is None else resp_size)
+        net = self.cluster.network
+        yield from net.transfer(src, self.node, req_bytes)
+        yield self.workers.acquire()
+        error: Optional[BaseException] = None
+        result = None
+        try:
+            result = yield from handler(*args, **kwargs)
+        except NodeDownError:
+            raise
+        except Exception as exc:  # domain errors ride the response wire
+            error = exc
+        finally:
+            self.workers.release()
+        self.requests_served += 1
+        self.requests_by_method[method] = (
+            self.requests_by_method.get(method, 0) + 1)
+        yield from net.transfer(self.node, src, resp_bytes)
+        if error is not None:
+            raise error
+        return result
+
+    def local(self, method: str, *args, **kwargs) -> Generator[Event, Any, Any]:
+        """Run a handler without any network hop (co-located caller)."""
+        handler = getattr(self, "handle_" + method)
+        yield self.workers.acquire()
+        try:
+            result = yield from handler(*args, **kwargs)
+        finally:
+            self.workers.release()
+        self.requests_served += 1
+        self.requests_by_method[method] = (
+            self.requests_by_method.get(method, 0) + 1)
+        return result
+
+
+class Cluster:
+    """Container for one simulated deployment: env + costs + nodes + net."""
+
+    def __init__(self, costs: Optional[CostModel] = None, seed: int = 0xC0FFEE):
+        self.env = Environment()
+        self.costs = costs if costs is not None else CostModel.tianhe2_like()
+        self.network = Network(self.env,
+                               NetworkParams.from_costs(self.costs))
+        self.rng = RngStreams(seed)
+        self.stats = StatsRegistry()
+        self.nodes: list[Node] = []
+
+    def add_node(self, name: str = "", cores: int = 24) -> Node:
+        node_id = len(self.nodes)
+        node = Node(self.env, node_id, name or f"node{node_id}", cores=cores,
+                    nic_channels=self.costs.nic_channels)
+        self.nodes.append(node)
+        return node
+
+    def add_nodes(self, count: int, prefix: str = "node",
+                  cores: int = 24) -> list[Node]:
+        return [self.add_node(f"{prefix}{i + len(self.nodes)}", cores=cores)
+                for i in range(count)]
+
+    def run(self, until: Any = None) -> Any:
+        return self.env.run(until)

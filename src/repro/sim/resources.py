@@ -1,0 +1,209 @@
+"""Synchronization and contention primitives for the DES kernel.
+
+* :class:`Resource` — capacity-limited server (models MDS worker pools,
+  cache-node CPUs, NIC serialization).  FIFO grant order keeps runs
+  deterministic.
+* :class:`Store` — unbounded FIFO channel of items (models message queues).
+* :class:`Gate` — a level-triggered condition processes can wait on.
+* :class:`Barrier` — classic N-party rendezvous (used by the mdtest
+  workload to reproduce MPI phase barriers).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from repro.sim.core import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store", "Gate", "Barrier"]
+
+
+class Resource:
+    """A server with ``capacity`` concurrent slots and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Contention accounting (exported by StatsRegistry consumers).
+        self.total_acquires = 0
+        self.total_wait_time = 0.0
+        self._busy_time = 0.0
+        self._last_change = env.now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity busy since construction."""
+        self._account()
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / (elapsed * self.capacity)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        self._account()
+        self.total_acquires += 1
+        ev = self.env.event(name=f"acquire:{self.name}")
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            ev.succeed(self.env.now)  # value: grant time (== request time)
+        else:
+            setattr_time = self.env.now
+            ev.add_callback(
+                lambda e, t0=setattr_time: self._note_wait(t0))
+            self._waiters.append(ev)
+        return ev
+
+    def _note_wait(self, requested_at: float) -> None:
+        self.total_wait_time += self.env.now - requested_at
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        self._account()
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use unchanged.
+            nxt = self._waiters.popleft()
+            nxt.succeed(self.env.now)
+        else:
+            self._in_use -= 1
+
+    def use(self, service_time: float) -> Generator[Event, Any, None]:
+        """Convenience generator: acquire, hold for ``service_time``, release."""
+        yield self.acquire()
+        try:
+            yield self.env.timeout(service_time)
+        finally:
+            self.release()
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks (the commit queues in the paper are unbounded
+    ZeroMQ sockets); ``get`` returns an event that fires when an item is
+    available.  FIFO fairness across getters.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_puts = 0
+        self.total_gets = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        self.total_gets += 1
+        ev = self.env.event(name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek_all(self) -> list:
+        """Snapshot of queued items (inspection/testing only)."""
+        return list(self._items)
+
+    def drain(self) -> list:
+        """Remove and return all queued items without waking getters."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Gate:
+    """A level-triggered condition.
+
+    While closed, ``wait()`` events queue up; ``open()`` releases all of
+    them and lets subsequent waits pass immediately until ``close()``.
+    """
+
+    def __init__(self, env: Environment, opened: bool = False, name: str = ""):
+        self.env = env
+        self.name = name
+        self._open = opened
+        self._waiters: list[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def wait(self) -> Event:
+        ev = self.env.event(name=f"gate:{self.name}")
+        if self._open:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def open(self) -> None:
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def close(self) -> None:
+        self._open = False
+
+
+class Barrier:
+    """N-party reusable barrier.
+
+    The first ``parties - 1`` arrivals block; the last arrival releases
+    everyone and resets the barrier for the next generation.  ``arrive``
+    returns an event whose value is the generation number that completed.
+    """
+
+    def __init__(self, env: Environment, parties: int, name: str = ""):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.name = name
+        self.parties = parties
+        self.generation = 0
+        self._waiting: list[Event] = []
+
+    def arrive(self) -> Event:
+        ev = self.env.event(name=f"barrier:{self.name}")
+        self._waiting.append(ev)
+        if len(self._waiting) == self.parties:
+            gen = self.generation
+            self.generation += 1
+            waiting, self._waiting = self._waiting, []
+            for w in waiting:
+                w.succeed(gen)
+        return ev
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)

@@ -1,0 +1,160 @@
+"""Measurement primitives: counters, histograms, throughput meters.
+
+Experiments never read raw kernel state; they publish into a
+:class:`StatsRegistry` that the bench harness renders into the paper's
+rows/series.  Histograms keep raw samples (numpy-backed percentile
+queries) because the experiments are small enough that reservoirs are not
+needed; a cap guards pathological runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["Counter", "Histogram", "ThroughputMeter", "StatsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Raw-sample histogram with percentile queries."""
+
+    def __init__(self, name: str, max_samples: int = 2_000_000):
+        self.name = name
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self._dropped = 0
+
+    def observe(self, value: float) -> None:
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            self._dropped += 1
+
+    @property
+    def count(self) -> int:
+        return len(self._samples) + self._dropped
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.mean(self._samples))
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, q))
+
+    def summary(self) -> Dict[str, float]:
+        if not self._samples:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        arr = np.asarray(self._samples)
+        return {
+            "count": self.count,
+            "mean": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "max": float(arr.max()),
+        }
+
+
+class ThroughputMeter:
+    """Counts completions between mark() calls; reports ops/second.
+
+    Used exactly like mdtest uses phase timers: ``start()`` at the phase
+    barrier, ``record()`` per completed op, ``stop()`` at the closing
+    barrier, then ``ops_per_second()``.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ops = 0
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        self._started_at = now
+        self._stopped_at = None
+        self.ops = 0
+
+    def record(self, n: int = 1) -> None:
+        self.ops += n
+
+    def stop(self, now: float) -> None:
+        self._stopped_at = now
+
+    @property
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at
+        if end is None:
+            raise RuntimeError(f"meter {self.name!r} not stopped")
+        return end - self._started_at
+
+    def ops_per_second(self) -> float:
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            return 0.0
+        return self.ops / elapsed
+
+
+class StatsRegistry:
+    """A flat namespace of counters/histograms/meters for one experiment."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._meters: Dict[str, ThroughputMeter] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def meter(self, name: str) -> ThroughputMeter:
+        m = self._meters.get(name)
+        if m is None:
+            m = self._meters[name] = ThroughputMeter(name)
+        return m
+
+    def counters(self) -> Dict[str, int]:
+        return {k: v.value for k, v in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        return {k: v.summary() for k, v in sorted(self._histograms.items())}
+
+    def meters(self) -> Dict[str, float]:
+        return {k: v.ops_per_second() for k, v in sorted(self._meters.items())}
+
+    def merge_counters(self, names: Iterable[str]) -> int:
+        return sum(self._counters[n].value for n in names
+                   if n in self._counters)

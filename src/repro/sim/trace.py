@@ -1,0 +1,121 @@
+"""Structured operation tracing for experiment debugging.
+
+A :class:`Tracer` collects timestamped, typed events from any actor that
+chooses to emit them (clients, commit processes, servers).  It is *off* by
+default — nothing in the hot path touches it unless a tracer is installed
+— and exists for the workflows a reproduction keeps needing:
+
+* "why did this op take 3 ms?" → dump the span tree for one op id,
+* "what did the commit process do between the barrier and the rmdir?" →
+  filter by actor and time window,
+* regression diffing: two runs with the same seed produce identical traces,
+  so ``diff`` localizes a behavior change to the first divergent event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event."""
+
+    time: float
+    actor: str
+    kind: str          # e.g. "op.start", "op.end", "commit", "barrier"
+    detail: str = ""
+    op_id: Optional[int] = None
+
+    def render(self) -> str:
+        tag = f"#{self.op_id}" if self.op_id is not None else ""
+        return (f"{self.time * 1e6:12.2f}us {self.actor:<24}"
+                f" {self.kind:<12} {tag:<8} {self.detail}")
+
+
+class Tracer:
+    """Append-only, filterable event log."""
+
+    def __init__(self, capacity: int = 1_000_000):
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+        self._next_op_id = 0
+        self.enabled = True
+
+    # -- emission ----------------------------------------------------------
+    def new_op_id(self) -> int:
+        self._next_op_id += 1
+        return self._next_op_id
+
+    def emit(self, time: float, actor: str, kind: str, detail: str = "",
+             op_id: Optional[int] = None) -> None:
+        if not self.enabled:
+            return
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(time, actor, kind, detail, op_id))
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, actor: Optional[str] = None,
+               kind: Optional[str] = None,
+               op_id: Optional[int] = None,
+               since: float = 0.0,
+               until: float = float("inf")) -> Iterator[TraceEvent]:
+        for ev in self._events:
+            if actor is not None and ev.actor != actor:
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if op_id is not None and ev.op_id != op_id:
+                continue
+            if not (since <= ev.time <= until):
+                continue
+            yield ev
+
+    def spans(self) -> Dict[int, Tuple[float, float, str]]:
+        """op_id -> (start, end, detail) for paired op.start/op.end events."""
+        starts: Dict[int, TraceEvent] = {}
+        out: Dict[int, Tuple[float, float, str]] = {}
+        for ev in self._events:
+            if ev.op_id is None:
+                continue
+            if ev.kind == "op.start":
+                starts[ev.op_id] = ev
+            elif ev.kind == "op.end" and ev.op_id in starts:
+                begin = starts.pop(ev.op_id)
+                out[ev.op_id] = (begin.time, ev.time, begin.detail)
+        return out
+
+    def render(self, limit: int = 200, **filters: Any) -> str:
+        lines = [ev.render() for ev in self.events(**filters)]
+        clipped = len(lines) - limit
+        lines = lines[:limit]
+        if clipped > 0:
+            lines.append(f"... {clipped} more events")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+class _NullTracer(Tracer):
+    """Shared no-op tracer; ``emit`` discards everything."""
+
+    def __init__(self):
+        super().__init__(capacity=0)
+        self.enabled = False
+
+    def emit(self, *a, **kw) -> None:  # pragma: no cover - trivial
+        return
+
+
+NULL_TRACER = _NullTracer()

@@ -1,0 +1,30 @@
+"""Workload generators mirroring the paper's benchmarks.
+
+* :mod:`repro.workloads.mdtest` — the MPI metadata benchmark used by every
+  metadata experiment (Figs. 1, 2, 7, 8, 9, 10, 11): phase-structured
+  mkdir/create/stat/rm loops over configurable tree shapes, with barriers
+  between phases.
+* :mod:`repro.workloads.memaslap` — raw in-memory-KV insertion load
+  (Fig. 10's upper bound).
+* :mod:`repro.workloads.madbench` — the MADbench2-derived HPC application
+  benchmark (Fig. 12): per-process file creation, then alternating
+  compute/write/read phases over 4 MB files.
+"""
+
+from repro.workloads.mdtest import MdtestConfig, MdtestResult, run_mdtest, \
+    build_tree
+from repro.workloads.memaslap import MemaslapConfig, run_memaslap
+from repro.workloads.madbench import MadbenchConfig, MadbenchResult, \
+    run_madbench
+
+__all__ = [
+    "MadbenchConfig",
+    "MadbenchResult",
+    "MdtestConfig",
+    "MdtestResult",
+    "MemaslapConfig",
+    "build_tree",
+    "run_madbench",
+    "run_mdtest",
+    "run_memaslap",
+]

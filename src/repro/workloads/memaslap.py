@@ -1,0 +1,55 @@
+"""memaslap-equivalent: raw in-memory-KV load generation.
+
+Fig. 10 compares Pacon's mkdir throughput with raw Memcached item
+insertion measured by memaslap with a single client.  This module drives a
+:class:`~repro.core.cache.CacheShard` (or a ring of them) with synthetic
+``set`` operations over the same simulated network the real systems use,
+giving the apples-to-apples upper bound the figure needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.core.cache import DistributedCache
+from repro.sim.core import Environment, Event
+
+__all__ = ["MemaslapConfig", "run_memaslap"]
+
+
+@dataclass
+class MemaslapConfig:
+    """One memaslap run."""
+
+    operations: int = 1000
+    value_size: int = 240       # comparable to a metadata record
+    key_prefix: str = "memaslap"
+    concurrency: int = 1        # concurrent connections (paper: 1)
+
+
+def run_memaslap(env: Environment, cache: DistributedCache, src_node,
+                 config: MemaslapConfig) -> float:
+    """Insert ``operations`` items; returns achieved ops/second."""
+    if config.operations < 1:
+        raise ValueError("operations must be >= 1")
+    per_conn = config.operations // config.concurrency
+    remainder = config.operations - per_conn * config.concurrency
+    t0 = env.now
+    payload = b"\x00" * config.value_size
+
+    def conn(cid: int, count: int) -> Generator[Event, Any, None]:
+        for i in range(count):
+            key = f"/{config.key_prefix}/{cid}/{i}"
+            record = {"v": payload, "i": i}
+            yield from cache.set(src_node, key, record)
+
+    procs = [
+        env.process(conn(cid, per_conn + (1 if cid < remainder else 0)),
+                    label=f"memaslap:{cid}")
+        for cid in range(config.concurrency)
+    ]
+    for proc in procs:
+        env.run(until=proc)
+    elapsed = env.now - t0
+    return config.operations / elapsed if elapsed > 0 else 0.0

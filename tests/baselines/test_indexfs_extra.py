@@ -1,0 +1,127 @@
+"""Additional IndexFS coverage: readdir across partitions, exists, leases
+under concurrent clients, and the LSM cost coupling at scale."""
+
+import pytest
+
+from repro.baselines.indexfs import IndexFS
+from repro.dfs.errors import FileNotFound
+from repro.sim.core import run_sync
+from repro.sim.network import Cluster
+
+
+def make(n_nodes=4, lease_ttl=200e-3, split_threshold=10):
+    cluster = Cluster(seed=13)
+    nodes = [cluster.add_node(f"n{i}") for i in range(n_nodes)]
+    fs = IndexFS(cluster, nodes, lease_ttl=lease_ttl,
+                 split_threshold=split_threshold)
+    return cluster, fs, nodes
+
+
+class TestAdminMkdir:
+    def test_admin_mkdir_visible_to_clients(self):
+        cluster, fs, nodes = make()
+        fs.admin_mkdir("/work", mode=0o777)
+        client = fs.client(nodes[0])
+
+        def go():
+            yield from client.create("/work/f")
+            return (yield from client.exists("/work/f"))
+
+        assert run_sync(cluster.env, go())
+
+    def test_admin_mkdir_counts_toward_splits(self):
+        cluster, fs, nodes = make(split_threshold=2)
+        for i in range(8):
+            fs.admin_mkdir(f"/d{i}")
+        assert fs.partitions_of("/") >= 2
+
+
+class TestConcurrentClients:
+    def test_many_clients_share_namespace(self):
+        cluster, fs, nodes = make()
+        clients = [fs.client(node) for node in nodes]
+
+        def writer(i, cl):
+            yield from cl.mkdir(f"/dir{i}")
+            yield from cl.create(f"/dir{i}/f")
+
+        procs = [cluster.env.process(writer(i, cl))
+                 for i, cl in enumerate(clients)]
+        for p in procs:
+            cluster.env.run(until=p)
+        # Every client can see every other client's work.
+        reader = clients[0]
+
+        def check():
+            out = []
+            for i in range(len(clients)):
+                out.append((yield from reader.exists(f"/dir{i}/f")))
+            return out
+
+        assert all(run_sync(cluster.env, check()))
+
+    def test_lease_caches_are_per_client(self):
+        cluster, fs, nodes = make(lease_ttl=100.0)
+        a = fs.client(nodes[0])
+        b = fs.client(nodes[1])
+
+        def go():
+            yield from a.mkdir("/d")
+            yield from a.create("/d/f1")   # warms a's lease on /d
+            before_b = b.lease_renewals
+            yield from b.create("/d/f2")   # b must fetch its own lease
+            return b.lease_renewals - before_b
+
+        assert run_sync(cluster.env, go()) == 1
+
+
+class TestErrorPaths:
+    def test_getattr_missing_after_probe_chain(self):
+        cluster, fs, nodes = make(split_threshold=3)
+        client = fs.client(nodes[0])
+
+        def go():
+            yield from client.mkdir("/d")
+            for i in range(20):  # force splits so the chain is > 1 long
+                yield from client.create(f"/d/f{i}")
+            yield from client.getattr("/d/ghost")
+
+        with pytest.raises(FileNotFound):
+            run_sync(cluster.env, go())
+
+    def test_unlink_missing_after_probe_chain(self):
+        cluster, fs, nodes = make(split_threshold=3)
+        client = fs.client(nodes[0])
+
+        def go():
+            yield from client.mkdir("/d")
+            for i in range(20):
+                yield from client.create(f"/d/f{i}")
+            yield from client.unlink("/d/ghost")
+
+        with pytest.raises(FileNotFound):
+            run_sync(cluster.env, go())
+
+
+class TestScaleCosts:
+    def test_stat_slows_once_tables_flush(self):
+        """With a small memtable, a big namespace pushes entries into
+        SSTables stored on the DFS — stats get measurably slower."""
+        def mean_stat_time(n_files):
+            cluster, fs, nodes = make(split_threshold=10 ** 9)
+            fs.servers[0].lsm.memtable_limit = 32
+            client = fs.client(nodes[0])
+
+            def go():
+                yield from client.mkdir("/d")
+                for i in range(n_files):
+                    yield from client.create(f"/d/f{i:04d}")
+                t0 = cluster.env.now
+                for i in range(0, n_files, max(1, n_files // 20)):
+                    yield from client.getattr(f"/d/f{i:04d}")
+                count = len(range(0, n_files, max(1, n_files // 20)))
+                return (cluster.env.now - t0) / count
+
+            return run_sync(cluster.env, go())
+
+        assert mean_stat_time(200) > mean_stat_time(20) * 1.3

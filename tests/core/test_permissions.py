@@ -1,0 +1,152 @@
+"""Unit tests for batch permission management (§III.C)."""
+
+import pytest
+
+from repro.core.permissions import PermissionSpec, RegionPermissions
+from repro.dfs.inode import AccessMode
+
+
+APP_UID, APP_GID = 1000, 1000
+OTHER_UID, OTHER_GID = 2000, 2000
+
+
+@pytest.fixture
+def perms():
+    return RegionPermissions(
+        "/ws", PermissionSpec(mode=0o700, uid=APP_UID, gid=APP_GID))
+
+
+class TestPermissionSpec:
+    def test_permits_owner(self):
+        spec = PermissionSpec(mode=0o700, uid=5, gid=5)
+        assert spec.permits(5, 5, AccessMode.READ | AccessMode.WRITE)
+
+    def test_denies_other(self):
+        spec = PermissionSpec(mode=0o700, uid=5, gid=5)
+        assert not spec.permits(6, 6, AccessMode.READ)
+
+    def test_group_bits(self):
+        spec = PermissionSpec(mode=0o750, uid=5, gid=9)
+        assert spec.permits(6, 9, AccessMode.READ | AccessMode.EXECUTE)
+        assert not spec.permits(6, 9, AccessMode.WRITE)
+
+
+class TestBatchCheck:
+    def test_app_user_allowed(self, perms):
+        r = perms.check("/ws/a/b/c", APP_UID, APP_GID, AccessMode.WRITE)
+        assert r.allowed
+
+    def test_other_user_denied(self, perms):
+        r = perms.check("/ws/a/b/c", OTHER_UID, OTHER_GID, AccessMode.READ)
+        assert not r.allowed
+
+    def test_outside_region_denied(self, perms):
+        r = perms.check("/elsewhere/f", APP_UID, APP_GID, AccessMode.READ)
+        assert not r.allowed
+        assert r.reason == "outside region"
+
+    def test_cost_independent_of_depth(self, perms):
+        shallow = perms.check("/ws/f", APP_UID, APP_GID, AccessMode.READ)
+        deep = perms.check("/ws/" + "/".join(f"d{i}" for i in range(30)),
+                           APP_UID, APP_GID, AccessMode.READ)
+        assert shallow.normal_checks == deep.normal_checks == 1
+        assert shallow.special_items_scanned == deep.special_items_scanned
+
+    def test_workspace_root_target(self, perms):
+        r = perms.check("/ws", APP_UID, APP_GID, AccessMode.READ)
+        assert r.allowed
+
+
+class TestSpecialList:
+    def test_special_target_overrides_normal(self, perms):
+        perms.add_special("/ws/shared",
+                          PermissionSpec(mode=0o755, uid=APP_UID,
+                                         gid=APP_GID))
+        r = perms.check("/ws/shared", OTHER_UID, OTHER_GID, AccessMode.READ)
+        assert r.allowed
+
+    def test_special_ancestor_can_deny_search(self, perms):
+        perms.add_special("/ws/locked",
+                          PermissionSpec(mode=0o600, uid=APP_UID,
+                                         gid=APP_GID))
+        # Even the owner loses search through a no-execute directory.
+        r = perms.check("/ws/locked/f", APP_UID, APP_GID, AccessMode.READ)
+        assert not r.allowed
+        assert "locked" in r.reason
+
+    def test_special_outside_workspace_rejected(self, perms):
+        with pytest.raises(ValueError):
+            perms.add_special("/other/dir", PermissionSpec())
+
+    def test_remove_special_restores_normal(self, perms):
+        perms.add_special("/ws/x", PermissionSpec(mode=0o777, uid=0, gid=0))
+        perms.remove_special("/ws/x")
+        assert perms.effective("/ws/x") is perms.normal
+
+    def test_scan_count_matches_list_length(self, perms):
+        for i in range(5):
+            perms.add_special(f"/ws/s{i}", PermissionSpec())
+        r = perms.check("/ws/a", APP_UID, APP_GID, AccessMode.READ)
+        assert r.special_items_scanned == 5
+
+    def test_effective_lookup(self, perms):
+        special = PermissionSpec(mode=0o444, uid=1, gid=1)
+        perms.add_special("/ws/ro", special)
+        assert perms.effective("/ws/ro") == special
+        assert perms.effective("/ws/other") == perms.normal
+
+
+class TestCheckOp:
+    def test_create_needs_parent_write(self, perms):
+        assert perms.check_op("create", "/ws/d/f", APP_UID, APP_GID).allowed
+        assert not perms.check_op("create", "/ws/d/f", OTHER_UID,
+                                  OTHER_GID).allowed
+
+    def test_create_in_readonly_special_parent_denied(self, perms):
+        perms.add_special("/ws/ro",
+                          PermissionSpec(mode=0o500, uid=APP_UID,
+                                         gid=APP_GID))
+        assert not perms.check_op("create", "/ws/ro/f", APP_UID,
+                                  APP_GID).allowed
+
+    def test_getattr_checks_traversal_only(self, perms):
+        perms.add_special("/ws/noread",
+                          PermissionSpec(mode=0o300, uid=APP_UID,
+                                         gid=APP_GID))
+        # getattr needs search on ancestors, not READ on the target.
+        assert perms.check_op("getattr", "/ws/noread", APP_UID,
+                              APP_GID).allowed
+
+    def test_readdir_needs_read(self, perms):
+        perms.add_special("/ws/wx",
+                          PermissionSpec(mode=0o300, uid=APP_UID,
+                                         gid=APP_GID))
+        assert not perms.check_op("readdir", "/ws/wx", APP_UID,
+                                  APP_GID).allowed
+
+    def test_write_needs_write(self, perms):
+        perms.add_special("/ws/ro",
+                          PermissionSpec(mode=0o400, uid=APP_UID,
+                                         gid=APP_GID))
+        assert not perms.check_op("write", "/ws/ro", APP_UID,
+                                  APP_GID).allowed
+        assert perms.check_op("read", "/ws/ro", APP_UID, APP_GID).allowed
+
+    def test_unknown_op_rejected(self, perms):
+        with pytest.raises(ValueError):
+            perms.check_op("chmodx", "/ws/a", APP_UID, APP_GID)
+
+
+class TestDefaults:
+    def test_linux_like_default(self):
+        perms = RegionPermissions.linux_like_default("/ws", 42, 43)
+        assert perms.check("/ws/any", 42, 43,
+                           AccessMode.READ | AccessMode.WRITE
+                           | AccessMode.EXECUTE).allowed
+        assert not perms.check("/ws/any", 7, 7, AccessMode.READ).allowed
+
+    def test_cost_items(self):
+        perms = RegionPermissions.linux_like_default("/ws", 1, 1)
+        perms.add_special("/ws/a", PermissionSpec())
+        perms.add_special("/ws/b", PermissionSpec())
+        assert perms.cost_items() == (1, 2)

@@ -1,0 +1,112 @@
+"""Property: the full operation mix (including dependent rmdir) converges.
+
+Extends the §III.E equivalence test with the *dependent* operation type:
+random sequences of mkdir/create/rm/rmdir spread over multiple clients and
+nodes.  rmdir takes the barrier path (flush earlier ops, recursive DFS
+removal, cache cleanup, discard rule), so this exercises every commit
+discipline against a sequential oracle.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PaconConfig
+from repro.core.deploy import PaconDeployment
+from repro.dfs.beegfs import BeeGFS
+from repro.sim.core import run_sync
+from repro.sim.network import Cluster
+
+WS = "/app"
+
+
+@st.composite
+def op_sequences(draw) -> List[Tuple[str, str]]:
+    n_ops = draw(st.integers(min_value=1, max_value=24))
+    dirs: List[str] = [WS]
+    files: List[str] = []
+    counter = 0
+    ops: List[Tuple[str, str]] = []
+    for _ in range(n_ops):
+        choices = ["mkdir", "create", "mkdir", "create"]
+        if files:
+            choices.append("rm")
+        if len(dirs) > 1:
+            choices.append("rmdir")
+        op = draw(st.sampled_from(choices))
+        if op == "mkdir":
+            parent = draw(st.sampled_from(dirs))
+            path = f"{parent}/d{counter}"
+            counter += 1
+            dirs.append(path)
+            ops.append(("mkdir", path))
+        elif op == "create":
+            parent = draw(st.sampled_from(dirs))
+            path = f"{parent}/f{counter}"
+            counter += 1
+            files.append(path)
+            ops.append(("create", path))
+        elif op == "rm":
+            path = draw(st.sampled_from(files))
+            files.remove(path)
+            ops.append(("rm", path))
+        else:  # rmdir: remove a whole subtree
+            path = draw(st.sampled_from(dirs[1:]))
+            doomed = [d for d in dirs
+                      if d == path or d.startswith(path + "/")]
+            for d in doomed:
+                dirs.remove(d)
+            files[:] = [f for f in files
+                        if not f.startswith(path + "/")]
+            ops.append(("rmdir", path))
+    return ops
+
+
+def oracle(ops: List[Tuple[str, str]]) -> Set[Tuple[str, str]]:
+    state: Dict[str, str] = {WS: "dir"}
+    for op, path in ops:
+        if op == "mkdir":
+            state[path] = "dir"
+        elif op == "create":
+            state[path] = "file"
+        elif op == "rm":
+            del state[path]
+        else:  # rmdir
+            for p in list(state):
+                if p == path or p.startswith(path + "/"):
+                    del state[p]
+    state.pop(WS)
+    return set(state.items())
+
+
+@given(ops=op_sequences(),
+       picks=st.lists(st.integers(min_value=0, max_value=2), min_size=24,
+                      max_size=24))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mixed_ops_converge_to_oracle(ops, picks):
+    cluster = Cluster(seed=41)
+    dfs = BeeGFS(cluster)
+    nodes = [cluster.add_node(f"n{i}") for i in range(3)]
+    deployment = PaconDeployment(cluster, dfs)
+    region = deployment.create_region(PaconConfig(workspace=WS), nodes)
+    clients = [deployment.client(region, node) for node in nodes]
+    for i, (op, path) in enumerate(ops):
+        client = clients[picks[i % len(picks)]]
+        method = {"mkdir": client.mkdir, "create": client.create,
+                  "rm": client.rm, "rmdir": client.rmdir}[op]
+        run_sync(cluster.env, method(path))
+    deployment.quiesce_sync(region)
+
+    observed = set()
+    for path, inode in dfs.namespace.walk(WS):
+        if path != WS:
+            observed.add((path, "dir" if inode.is_dir else "file"))
+    assert observed == oracle(ops)
+    # Cache view consistency: committed, non-deleted cache entries exist
+    # on the DFS.
+    for shard in region.shards:
+        for key, record in shard.kv.scan_prefix(WS + "/"):
+            if record["committed"] and not record["deleted"]:
+                assert dfs.namespace.exists(key), key

@@ -1,0 +1,128 @@
+"""Property test: batch permission checks ≡ hierarchical traversal.
+
+Under the paper's HPC assumptions — every entry in a workspace carries the
+region's normal permission except a declared special list — Pacon's batch
+check (one normal match + one special-list scan) must agree with the
+classic layer-by-layer traversal over a real namespace carrying those same
+modes.  Hypothesis generates random trees, special lists, and access
+requests; the oracle is the repro DFS namespace itself.
+"""
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permissions import PermissionSpec, RegionPermissions
+from repro.dfs.errors import PermissionDenied
+from repro.dfs.inode import AccessMode
+from repro.dfs.namespace import Namespace, parent_of
+
+WS = "/ws"
+APP = (1000, 1000)
+MODES = [0o700, 0o750, 0o755, 0o500, 0o300, 0o770]
+USERS = [(1000, 1000), (1000, 2000), (2000, 1000), (2000, 2000), (0, 0)]
+
+
+@st.composite
+def workspaces(draw):
+    """A random tree plus a special-permission assignment."""
+    n_dirs = draw(st.integers(min_value=1, max_value=8))
+    n_files = draw(st.integers(min_value=1, max_value=8))
+    normal_mode = draw(st.sampled_from(MODES))
+    dirs = [WS]
+    entries: List[Tuple[str, str]] = []
+    for i in range(n_dirs):
+        parent = draw(st.sampled_from(dirs))
+        path = f"{parent}/d{i}"
+        dirs.append(path)
+        entries.append((path, "dir"))
+    for i in range(n_files):
+        parent = draw(st.sampled_from(dirs))
+        entries.append((f"{parent}/f{i}", "file"))
+    special: Dict[str, int] = {}
+    for path, _ftype in entries:
+        if draw(st.booleans()) and len(special) < 3:
+            special[path] = draw(st.sampled_from(MODES))
+    return normal_mode, entries, special
+
+
+def build_oracle(normal_mode: int, entries, special) -> Namespace:
+    ns = Namespace()
+    # Entry (search permission) into the region root is granted at region
+    # creation, so the oracle's /ws carries exec-for-all; its other bits
+    # stay per the normal permission (writes into the workspace root are
+    # still governed by the declared permission information).
+    ns.mkdir(WS, mode=normal_mode | 0o111, uid=APP[0], gid=APP[1],
+             check_perms=False)
+    for path, ftype in entries:
+        mode = special.get(path, normal_mode)
+        if ftype == "dir":
+            ns.mkdir(path, mode=mode, uid=APP[0], gid=APP[1],
+                     check_perms=False)
+        else:
+            ns.create(path, mode=mode, uid=APP[0], gid=APP[1],
+                      check_perms=False)
+    return ns
+
+
+def oracle_allows(ns: Namespace, op: str, path: str, uid: int,
+                  gid: int) -> bool:
+    """Hierarchical traversal verdict, scoped to ancestors inside WS.
+
+    The region grants workspace entry at creation, so the oracle walks
+    from WS (not from /), matching what the batch check answers for.
+    """
+    try:
+        if op == "create":
+            parent = parent_of(path)
+            ns.getattr(parent, uid, gid, check_perms=True)
+            inode = ns.getattr(parent, 0, 0, check_perms=False)
+            return inode.permits(uid, gid,
+                                 AccessMode.WRITE | AccessMode.EXECUTE)
+        if op == "getattr":
+            parent = parent_of(path)
+            ns.getattr(parent, uid, gid, check_perms=True)
+            inode = ns.getattr(parent, 0, 0, check_perms=False)
+            return inode.permits(uid, gid, AccessMode.EXECUTE)
+        if op == "readdir":
+            ns.getattr(path, uid, gid, check_perms=True)
+            inode = ns.getattr(path, 0, 0, check_perms=False)
+            return inode.permits(uid, gid, AccessMode.READ)
+        if op == "write":
+            ns.getattr(path, uid, gid, check_perms=True)
+            inode = ns.getattr(path, 0, 0, check_perms=False)
+            return inode.permits(uid, gid, AccessMode.WRITE)
+    except PermissionDenied:
+        return False
+    raise ValueError(op)
+
+
+@given(ws=workspaces(), user=st.sampled_from(USERS),
+       op=st.sampled_from(["create", "getattr", "readdir", "write"]),
+       pick=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=200, deadline=None)
+def test_batch_check_matches_hierarchical_traversal(ws, user, op, pick):
+    normal_mode, entries, special = ws
+    uid, gid = user
+    ns = build_oracle(normal_mode, entries, special)
+    perms = RegionPermissions(
+        WS, PermissionSpec(mode=normal_mode, uid=APP[0], gid=APP[1]),
+        {p: PermissionSpec(mode=m, uid=APP[0], gid=APP[1])
+         for p, m in special.items()})
+
+    # Pick an existing entry appropriate for the op.
+    if op == "readdir":
+        candidates = [p for p, f in entries if f == "dir"] or [WS]
+    else:
+        candidates = [p for p, _f in entries]
+    path = candidates[pick % len(candidates)]
+    if path == WS:
+        return  # region-root access is granted by construction
+
+    batch = perms.check_op(op, path, uid, gid).allowed
+    oracle = oracle_allows(ns, op, path, uid, gid)
+    assert batch == oracle, (
+        f"divergence on {op} {path} as uid={uid},gid={gid}: "
+        f"batch={batch} oracle={oracle} normal={oct(normal_mode)} "
+        f"special={ {p: oct(m) for p, m in special.items()} }")

@@ -1,0 +1,91 @@
+"""Property test: inline small-file content vs a byte-array oracle.
+
+Random sequences of writes (possibly sparse, possibly overlapping, from
+multiple clients) against one small file must read back exactly what a
+flat bytearray oracle holds — including across the small→large threshold
+crossing, after which reads are served by the DFS (which tracks sizes, so
+the oracle degrades to length checks there).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PaconConfig
+from repro.core.deploy import PaconDeployment
+from repro.dfs.beegfs import BeeGFS
+from repro.sim.core import run_sync
+from repro.sim.network import Cluster
+
+THRESHOLD = 256
+
+
+def build_world():
+    cluster = Cluster(seed=31)
+    dfs = BeeGFS(cluster)
+    nodes = [cluster.add_node(f"n{i}") for i in range(2)]
+    deployment = PaconDeployment(cluster, dfs)
+    region = deployment.create_region(
+        PaconConfig(workspace="/app", small_file_threshold=THRESHOLD),
+        nodes)
+    clients = [deployment.client(region, node) for node in nodes]
+    return cluster, deployment, region, clients
+
+
+writes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=THRESHOLD - 1),   # offset
+        st.binary(min_size=1, max_size=48),                  # data
+        st.integers(min_value=0, max_value=1),               # client pick
+    ),
+    min_size=1, max_size=12)
+
+
+@given(ws=writes)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_inline_content_matches_bytearray_oracle(ws):
+    cluster, deployment, region, clients = build_world()
+    run_sync(cluster.env, clients[0].create("/app/f"))
+    oracle = bytearray()
+    stayed_small = True
+    for offset, data, pick in ws:
+        end = offset + len(data)
+        if end > THRESHOLD:
+            stayed_small = False
+        if len(oracle) < end:
+            oracle.extend(b"\x00" * (end - len(oracle)))
+        oracle[offset:end] = data
+        run_sync(cluster.env,
+                 clients[pick].write("/app/f", offset, data=data))
+    inode = run_sync(cluster.env, clients[0].getattr("/app/f"))
+    assert inode.size == len(oracle)
+    if stayed_small:
+        got = run_sync(cluster.env,
+                       clients[1].read("/app/f", 0, len(oracle)))
+        assert got == bytes(oracle)
+        # Sub-range reads agree too.
+        mid = len(oracle) // 2
+        got_tail = run_sync(cluster.env,
+                            clients[0].read("/app/f", mid,
+                                            len(oracle) - mid))
+        assert got_tail == bytes(oracle[mid:])
+
+
+@given(pre=st.binary(min_size=1, max_size=64),
+       big=st.integers(min_value=THRESHOLD + 1, max_value=THRESHOLD * 4))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_threshold_crossing_preserves_size(pre, big):
+    cluster, deployment, region, clients = build_world()
+    run_sync(cluster.env, clients[0].create("/app/f"))
+    run_sync(cluster.env, clients[0].write("/app/f", 0, data=pre))
+    run_sync(cluster.env, clients[1].write("/app/f", len(pre), size=big))
+    expected = len(pre) + big
+    inode = run_sync(cluster.env, clients[0].getattr("/app/f"))
+    assert inode.size == expected
+    record = region.cache.peek("/app/f")
+    assert record["large"] is True
+    assert record["inline_data"] is None
+    # The DFS holds the full extent once converted.
+    deployment.quiesce_sync(region)
+    assert region.dfs.namespace.getattr("/app/f").size == expected

@@ -1,0 +1,373 @@
+"""Unit tests for the DES kernel (events, processes, time, interrupts)."""
+
+import pytest
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+    run_sync,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_event_starts_untriggered(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_carries_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        env.run()
+        assert ev.value == 42
+
+    def test_fail_carries_exception(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        env.run()
+        with pytest.raises(ValueError, match="boom"):
+            _ = ev.value
+
+    def test_double_succeed_rejected(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_after_succeed_rejected(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("late"))
+
+    def test_fail_requires_exception_instance(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_callback_after_processed_still_runs(self, env):
+        ev = env.event()
+        ev.succeed("x")
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, env):
+        t = env.timeout(5.0)
+        env.run(until=t)
+        assert env.now == 5.0
+
+    def test_timeout_value_passthrough(self, env):
+        t = env.timeout(1.0, value="done")
+        assert env.run(until=t) == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_fires_at_now(self, env):
+        t = env.timeout(0.0)
+        env.run(until=t)
+        assert env.now == 0.0
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+        for d in (3.0, 1.0, 2.0):
+            env.timeout(d).add_callback(lambda e, d=d: order.append(d))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo_tiebreak(self, env):
+        order = []
+        for i in range(5):
+            env.timeout(1.0).add_callback(lambda e, i=i: order.append(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_process_returns_value(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return "result"
+
+        assert run_sync(env, proc()) == "result"
+        assert env.now == 1.0
+
+    def test_process_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_yield_non_event_is_error(self, env):
+        def proc():
+            yield 42
+
+        with pytest.raises(SimulationError, match="must yield Event"):
+            run_sync(env, proc())
+
+    def test_processes_wait_on_each_other(self, env):
+        def child():
+            yield env.timeout(2.0)
+            return 7
+
+        def parent():
+            value = yield env.process(child())
+            return value + 1
+
+        assert run_sync(env, parent()) == 8
+
+    def test_exception_propagates_to_waiter(self, env):
+        def child():
+            yield env.timeout(1.0)
+            raise KeyError("inner")
+
+        def parent():
+            yield env.process(child())
+
+        with pytest.raises(KeyError, match="inner"):
+            run_sync(env, parent())
+
+    def test_subgenerator_via_yield_from(self, env):
+        def sub(x):
+            yield env.timeout(1.0)
+            return x * 2
+
+        def main():
+            a = yield from sub(3)
+            b = yield from sub(a)
+            return b
+
+        assert run_sync(env, main()) == 12
+        assert env.now == 2.0
+
+    def test_failed_event_throws_into_process(self, env):
+        ev = env.event()
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = env.process(proc())
+        ev.fail(RuntimeError("wire error"))
+        assert env.run(until=p) == "caught wire error"
+
+    def test_is_alive_transitions(self, env):
+        def proc():
+            yield env.timeout(1.0)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, env.now)
+
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(5.0)
+            p.interrupt("node-crash")
+
+        env.process(killer())
+        assert env.run(until=p) == ("interrupted", "node-crash", 5.0)
+
+    def test_interrupt_finished_process_is_noop(self, env):
+        def quick():
+            yield env.timeout(1.0)
+            return "ok"
+
+        p = env.process(quick())
+        env.run()
+        p.interrupt("too late")  # must not raise
+        assert p.value == "ok"
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            return env.now
+
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(2.0)
+            p.interrupt()
+
+        env.process(killer())
+        assert env.run(until=p) == 3.0
+
+    def test_interrupt_before_start_cancels_cleanly(self, env):
+        """Interrupting a process whose generator never ran must not blow
+        up at the generator's first line; the process dies with the
+        Interrupt as its outcome."""
+        def never_started():
+            yield env.timeout(1.0)
+            return "unreachable"
+
+        p = env.process(never_started())
+        p.interrupt("early-kill")  # before env.run: bootstrap pending
+        env.run()
+        assert not p.is_alive
+        assert isinstance(p.exception, Interrupt)
+        assert p.exception.cause == "early-kill"
+
+    def test_original_event_does_not_resume_after_interrupt(self, env):
+        resumed = []
+
+        def victim():
+            try:
+                yield env.timeout(5.0)
+                resumed.append("timeout")
+            except Interrupt:
+                resumed.append("interrupt")
+            yield env.timeout(10.0)
+            resumed.append("end")
+
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert resumed == ["interrupt", "end"]
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, env):
+        events = [env.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+
+        def proc():
+            values = yield AllOf(env, events)
+            return values
+
+        assert run_sync(env, proc()) == [3.0, 1.0, 2.0]
+        assert env.now == 3.0
+
+    def test_all_of_empty_is_immediate(self, env):
+        def proc():
+            values = yield AllOf(env, [])
+            return values
+
+        assert run_sync(env, proc()) == []
+
+    def test_all_of_fails_fast(self, env):
+        bad = env.event()
+
+        def failer():
+            yield env.timeout(1.0)
+            bad.fail(IOError("disk"))
+
+        env.process(failer())
+
+        def proc():
+            yield AllOf(env, [env.timeout(50.0), bad])
+
+        with pytest.raises(IOError):
+            run_sync(env, proc())
+        assert env.now == 1.0
+
+    def test_any_of_returns_first(self, env):
+        events = [env.timeout(3.0, "slow"), env.timeout(1.0, "fast")]
+
+        def proc():
+            idx, value = yield AnyOf(env, events)
+            return idx, value
+
+        assert run_sync(env, proc()) == (1, "fast")
+        assert env.now == 1.0
+
+    def test_any_of_empty_rejected(self, env):
+        with pytest.raises(ValueError):
+            AnyOf(env, [])
+
+
+class TestEnvironmentRun:
+    def test_run_until_time_stops_clock(self, env):
+        fired = []
+        env.timeout(1.0).add_callback(lambda e: fired.append(1))
+        env.timeout(10.0).add_callback(lambda e: fired.append(10))
+        env.run(until=5.0)
+        assert fired == [1]
+        assert env.now == 5.0
+
+    def test_run_until_past_time_rejected(self, env):
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_run_to_exhaustion(self, env):
+        env.timeout(2.5)
+        env.run()
+        assert env.now == 2.5
+        assert env.peek() == float("inf")
+
+    def test_deadlock_detection(self, env):
+        stuck = env.event()
+
+        def proc():
+            yield stuck
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            run_sync(env, proc())
+
+    def test_step_on_empty_heap_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_event_count_increments(self, env):
+        before = env.processed_events
+        env.timeout(1.0)
+        env.run()
+        assert env.processed_events > before
+
+    def test_determinism_same_program_same_trace(self):
+        def trace():
+            env = Environment()
+            out = []
+
+            def proc(i):
+                yield env.timeout(0.5 * (i % 3))
+                out.append((i, env.now))
+                yield env.timeout(1.0)
+                out.append((i, env.now))
+
+            for i in range(10):
+                env.process(proc(i))
+            env.run()
+            return out
+
+        assert trace() == trace()

@@ -1,0 +1,271 @@
+"""Unit tests for Resource, Store, Gate, Barrier."""
+
+import pytest
+
+from repro.sim.core import Environment, SimulationError, run_sync
+from repro.sim.resources import Barrier, Gate, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self, env):
+        res = Resource(env, capacity=2)
+        ev = res.acquire()
+        assert ev.triggered
+        assert res.in_use == 1
+
+    def test_fifo_queueing_over_capacity(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(i):
+            yield res.acquire()
+            order.append((i, env.now))
+            yield env.timeout(1.0)
+            res.release()
+
+        for i in range(3):
+            env.process(worker(i))
+        env.run()
+        assert order == [(0, 0.0), (1, 1.0), (2, 2.0)]
+
+    def test_release_idle_rejected(self, env):
+        res = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_use_helper_serializes(self, env):
+        res = Resource(env, capacity=1)
+        done = []
+
+        def worker(i):
+            yield from res.use(2.0)
+            done.append(env.now)
+
+        for i in range(3):
+            env.process(worker(i))
+        env.run()
+        assert done == [2.0, 4.0, 6.0]
+
+    def test_queue_length_tracks_waiters(self, env):
+        res = Resource(env, capacity=1)
+        res.acquire()
+        res.acquire()
+        res.acquire()
+        assert res.queue_length == 2
+
+    def test_utilization_full_load(self, env):
+        res = Resource(env, capacity=1)
+
+        def worker():
+            yield from res.use(10.0)
+
+        env.process(worker())
+        env.run()
+        assert res.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half_load(self, env):
+        res = Resource(env, capacity=2)
+
+        def worker():
+            yield from res.use(10.0)
+
+        env.process(worker())
+        env.run()
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_wait_time_accounting(self, env):
+        res = Resource(env, capacity=1)
+
+        def worker():
+            yield from res.use(3.0)
+
+        env.process(worker())
+        env.process(worker())
+        env.run()
+        assert res.total_wait_time == pytest.approx(3.0)
+        assert res.total_acquires == 2
+
+    def test_handoff_keeps_capacity_invariant(self, env):
+        res = Resource(env, capacity=2)
+        max_seen = []
+
+        def worker(i):
+            yield res.acquire()
+            max_seen.append(res.in_use)
+            yield env.timeout(1.0)
+            res.release()
+
+        for i in range(6):
+            env.process(worker(i))
+        env.run()
+        assert max(max_seen) <= 2
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("a")
+
+        def getter():
+            item = yield store.get()
+            return item
+
+        assert run_sync(env, getter()) == "a"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def putter():
+            yield env.timeout(5.0)
+            store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [("late", 5.0)]
+
+    def test_fifo_item_order(self, env):
+        store = Store(env)
+        for i in range(5):
+            store.put(i)
+        out = []
+
+        def getter():
+            for _ in range(5):
+                out.append((yield store.get()))
+
+        env.process(getter())
+        env.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_fifo_getter_order(self, env):
+        store = Store(env)
+        out = []
+
+        def getter(i):
+            item = yield store.get()
+            out.append((i, item))
+
+        for i in range(3):
+            env.process(getter(i))
+
+        def putter():
+            yield env.timeout(1.0)
+            for x in "abc":
+                store.put(x)
+
+        env.process(putter())
+        env.run()
+        assert out == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_len_and_drain(self, env):
+        store = Store(env)
+        for i in range(4):
+            store.put(i)
+        assert len(store) == 4
+        assert store.peek_all() == [0, 1, 2, 3]
+        assert store.drain() == [0, 1, 2, 3]
+        assert len(store) == 0
+
+
+class TestGate:
+    def test_closed_gate_blocks(self, env):
+        gate = Gate(env)
+        passed = []
+
+        def waiter():
+            yield gate.wait()
+            passed.append(env.now)
+
+        env.process(waiter())
+
+        def opener():
+            yield env.timeout(3.0)
+            gate.open()
+
+        env.process(opener())
+        env.run()
+        assert passed == [3.0]
+
+    def test_open_gate_passes_immediately(self, env):
+        gate = Gate(env, opened=True)
+        ev = gate.wait()
+        assert ev.triggered
+
+    def test_reclose_blocks_again(self, env):
+        gate = Gate(env, opened=True)
+        gate.close()
+        ev = gate.wait()
+        assert not ev.triggered
+        gate.open()
+        assert ev.triggered
+
+    def test_open_releases_all_waiters(self, env):
+        gate = Gate(env)
+        events = [gate.wait() for _ in range(5)]
+        gate.open()
+        assert all(ev.triggered for ev in events)
+
+
+class TestBarrier:
+    def test_parties_validation(self, env):
+        with pytest.raises(ValueError):
+            Barrier(env, parties=0)
+
+    def test_releases_when_full(self, env):
+        barrier = Barrier(env, parties=3)
+        released = []
+
+        def party(i, delay):
+            yield env.timeout(delay)
+            gen = yield barrier.arrive()
+            released.append((i, env.now, gen))
+
+        env.process(party(0, 1.0))
+        env.process(party(1, 2.0))
+        env.process(party(2, 3.0))
+        env.run()
+        assert released == [(0, 3.0, 0), (1, 3.0, 0), (2, 3.0, 0)]
+
+    def test_reusable_generations(self, env):
+        barrier = Barrier(env, parties=2)
+        gens = []
+
+        def party(i):
+            for _ in range(3):
+                gen = yield barrier.arrive()
+                gens.append(gen)
+                yield env.timeout(1.0)
+
+        env.process(party(0))
+        env.process(party(1))
+        env.run()
+        assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+
+    def test_single_party_never_blocks(self, env):
+        barrier = Barrier(env, parties=1)
+        ev = barrier.arrive()
+        assert ev.triggered
+
+    def test_n_waiting(self, env):
+        barrier = Barrier(env, parties=3)
+        barrier.arrive()
+        assert barrier.n_waiting == 1
+        barrier.arrive()
+        assert barrier.n_waiting == 2
+        barrier.arrive()
+        assert barrier.n_waiting == 0

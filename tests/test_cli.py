@@ -1,0 +1,60 @@
+"""Tests for the pacon-bench CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mdtest_defaults(self):
+        args = build_parser().parse_args(["mdtest"])
+        assert args.system == "pacon"
+        assert args.items == 50
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_mdtest_runs(self, capsys):
+        rc = main(["mdtest", "--system", "pacon", "--nodes", "2",
+                   "--clients-per-node", "2", "--items", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mkdir" in out and "create" in out and "ops/s" in out
+
+    def test_mdtest_beegfs_custom_phases(self, capsys):
+        rc = main(["mdtest", "--system", "beegfs", "--nodes", "1",
+                   "--clients-per-node", "2", "--items", "4",
+                   "--phases", "create,rm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rm" in out
+        assert "mkdir" not in out
+
+    def test_madbench_runs(self, capsys):
+        rc = main(["madbench", "--system", "pacon", "--nodes", "2",
+                   "--procs-per-node", "2", "--file-size", "262144",
+                   "--iterations", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total:" in out and "write" in out
+
+    def test_figure_table1(self, capsys):
+        rc = main(["figure", "table1", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "match" in out
+
+    def test_all_writes_report(self, tmp_path, capsys):
+        out_file = tmp_path / "r.md"
+        rc = main(["all", "--scale", "smoke", "--out", str(out_file)])
+        assert rc == 0
+        content = out_file.read_text()
+        assert "## fig07" in content
+        assert "## sensitivity" in content
