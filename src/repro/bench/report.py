@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["ExperimentResult", "format_table", "write_markdown", "fmt_ops"]
+__all__ = ["ExperimentResult", "format_table", "write_markdown", "fmt_ops",
+           "metrics_sidecar_path"]
 
 
 @dataclass
@@ -17,6 +19,9 @@ class ExperimentResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     scale: str = "ci"
+    #: Optional MetricsHub export captured while the driver ran; written
+    #: as a JSON sidecar next to the markdown report.
+    metrics: Optional[Dict[str, Any]] = None
 
     def add(self, **row: Any) -> None:
         self.rows.append(row)
@@ -87,9 +92,20 @@ def format_table(rows: Sequence[Dict[str, Any]]) -> str:
     return "\n".join(out)
 
 
+def metrics_sidecar_path(path: str) -> str:
+    """Path of the metrics JSON written alongside a markdown report."""
+    return path + ".metrics.json"
+
+
 def write_markdown(results: Sequence[ExperimentResult], path: str) -> None:
-    """Write experiment results as a markdown report."""
+    """Write experiment results as a markdown report.
+
+    Results carrying a :attr:`ExperimentResult.metrics` export also get a
+    stable-ordered JSON sidecar (``<path>.metrics.json``) keyed by
+    experiment name.
+    """
     lines: List[str] = ["# Benchmark report", ""]
+    metrics: Dict[str, Any] = {}
     for result in results:
         lines.append(f"## {result.experiment}: {result.title}")
         lines.append("")
@@ -106,6 +122,14 @@ def write_markdown(results: Sequence[ExperimentResult], path: str) -> None:
                     _fmt(row.get(c, "")) for c in columns) + " |")
         for note in result.notes:
             lines.append(f"\n> {note}")
+        if result.metrics is not None:
+            metrics[result.experiment] = result.metrics
+            lines.append(f"\n> metrics: see"
+                         f" {metrics_sidecar_path(path)}"
+                         f" [{result.experiment}]")
         lines.append("")
+    if metrics:
+        with open(metrics_sidecar_path(path), "w") as fh:
+            json.dump(metrics, fh, sort_keys=True, indent=2)
     with open(path, "w") as fh:
         fh.write("\n".join(lines))

@@ -1,13 +1,15 @@
 """Run every experiment and write the consolidated report.
 
-``python -m repro.bench.runner [--paper-scale] [--out report.md]``
+``python -m repro.bench.runner [--paper-scale] [--out report.md]
+[--metrics-out metrics.json]``
 """
 
 from __future__ import annotations
 
+import inspect
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.bench import ablations, fig01, fig02, fig07, fig08, fig09, \
     fig10, fig11, fig12, latency, sensitivity, table1
@@ -18,23 +20,46 @@ __all__ = ["run_all", "main"]
 DRIVERS = [fig01, fig02, table1, fig07, fig08, fig09, fig10, fig11, fig12,
            latency, sensitivity]
 
+#: Simulated seconds between observability gauge samples when a bench run
+#: collects metrics.
+METRICS_SAMPLE_INTERVAL = 200e-6
+
+
+def _accepts_hub(run_fn) -> bool:
+    return "hub" in inspect.signature(run_fn).parameters
+
 
 def run_all(scale: str = "ci", verbose: bool = True,
-            include_ablations: bool = True) -> List[ExperimentResult]:
+            include_ablations: bool = True,
+            metrics_path: Optional[str] = None) -> List[ExperimentResult]:
+    hub = None
+    if metrics_path is not None:
+        from repro.obs.hub import MetricsHub
+        hub = MetricsHub(sample_interval=METRICS_SAMPLE_INTERVAL)
     results: List[ExperimentResult] = []
     for driver in DRIVERS:
-        t0 = time.time()
-        result = driver.run(scale)
+        # perf_counter, not time.time: harness phase timings must be
+        # monotonic so they survive wall-clock adjustments (NTP steps).
+        t0 = time.perf_counter()
+        if hub is not None and _accepts_hub(driver.run):
+            result = driver.run(scale, hub=hub)
+        else:
+            result = driver.run(scale)
         results.append(result)
         if verbose:
             print(result.render())
-            print(f"  [{time.time() - t0:.1f}s]\n")
+            print(f"  [{time.perf_counter() - t0:.1f}s]\n")
     if include_ablations:
         for result in ablations.run_all(scale):
             results.append(result)
             if verbose:
                 print(result.render())
                 print()
+    if hub is not None and metrics_path is not None:
+        with open(metrics_path, "w") as fh:
+            fh.write(hub.to_json(indent=2))
+        if verbose:
+            print(f"metrics written to {metrics_path}")
     return results
 
 
@@ -43,7 +68,10 @@ def main() -> None:  # pragma: no cover - CLI
     out_path = None
     if "--out" in sys.argv:
         out_path = sys.argv[sys.argv.index("--out") + 1]
-    results = run_all(scale)
+    metrics_path = None
+    if "--metrics-out" in sys.argv:
+        metrics_path = sys.argv[sys.argv.index("--metrics-out") + 1]
+    results = run_all(scale, metrics_path=metrics_path)
     if out_path:
         write_markdown(results, out_path)
         print(f"report written to {out_path}")

@@ -76,13 +76,19 @@ def make_testbed(system: str, n_apps: int = 1, nodes_per_app: int = 2,
                  lease_ttl: float = 200e-3,
                  split_threshold: int = 2000,
                  parent_check: bool = True,
-                 trace_clients: bool = False) -> TestBed:
+                 trace_clients: bool = False,
+                 hub: Optional[Any] = None) -> TestBed:
     """Build one system with ``n_apps`` applications.
 
     Application ``k`` gets workspace ``{workdir_base}{k}`` (or exactly
     ``workdir_base`` when there is a single app), ``nodes_per_app``
     dedicated client nodes, and ``clients_per_node`` client processes per
     node — the paper's mdtest geometry.
+
+    Pass a :class:`repro.obs.MetricsHub` as ``hub`` to instrument the
+    Pacon deployment (regions get the hub + its tracer, clients are
+    attached, and gauge samplers start if the hub has a sample interval).
+    The baseline systems accept the argument but are not instrumented.
     """
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
@@ -134,9 +140,14 @@ def make_testbed(system: str, n_apps: int = 1, nodes_per_app: int = 2,
             permissions=PermissionSpec(mode=0o755, uid=1000 + k,
                                        gid=1000 + k))
         region = bed.pacon.create_region(config, app_nodes[k])
+        if hub is not None:
+            hub.attach_region(region)
         clients = [bed.pacon.client(region, node, trace=trace_clients)
                    for node in app_nodes[k]
                    for _ in range(clients_per_node)]
+        if hub is not None:
+            for client in clients:
+                hub.attach_client(client)
         bed.apps.append(AppHandle(workdir=workdir, nodes=app_nodes[k],
                                   clients=clients, region=region))
     return bed

@@ -6,8 +6,10 @@ Installed as ``pacon-bench`` (see pyproject) or usable as
     pacon-bench mdtest --system pacon --nodes 4 --clients-per-node 8 \
         --items 100
     pacon-bench madbench --system beegfs --file-size 4194304
-    pacon-bench figure fig07 --scale paper
+    pacon-bench figure fig07 --scale paper --metrics-out fig07.metrics.json
     pacon-bench all --scale ci --out report.md
+    pacon-bench stats --nodes 2 --items 25 --out metrics.json
+    pacon-bench trace --nodes 2 --items 5 --limit 100
 """
 
 from __future__ import annotations
@@ -51,12 +53,48 @@ def build_parser() -> argparse.ArgumentParser:
                                  "fig12", "latency", "sensitivity"))
     figure.add_argument("--scale", choices=("smoke", "ci", "paper"),
                         default="ci")
+    figure.add_argument("--metrics-out", default=None,
+                        help="write a MetricsHub JSON artifact here"
+                             " (drivers that support observability)")
 
     everything = sub.add_parser("all", help="regenerate every experiment")
     everything.add_argument("--scale", choices=("smoke", "ci", "paper"),
                             default="ci")
     everything.add_argument("--out", default=None,
                             help="write a markdown report here")
+    everything.add_argument("--metrics-out", default=None,
+                            help="write a MetricsHub JSON artifact here")
+
+    def _observed_workload_args(p) -> None:
+        p.add_argument("--nodes", type=int, default=2)
+        p.add_argument("--clients-per-node", type=int, default=4)
+        p.add_argument("--items", type=int, default=20)
+        p.add_argument("--phases", default="mkdir,create,stat",
+                       help="comma-separated: mkdir,create,stat,rm")
+        p.add_argument("--seed", type=int, default=0xBEE)
+        p.add_argument("--sample-interval", type=float, default=200e-6,
+                       help="gauge sampler period in simulated seconds"
+                            " (0 disables sampling)")
+        p.add_argument("--out", default=None, help="write output here"
+                                                   " instead of stdout")
+
+    stats = sub.add_parser(
+        "stats", help="run an observed Pacon mdtest workload and export"
+                      " the MetricsHub JSON document")
+    _observed_workload_args(stats)
+    stats.add_argument("--compact", action="store_true",
+                       help="single-line JSON (default is indented)")
+
+    trace = sub.add_parser(
+        "trace", help="run a traced Pacon mdtest workload and render the"
+                      " span/commit event log")
+    _observed_workload_args(trace)
+    trace.add_argument("--limit", type=int, default=200,
+                       help="max events to render")
+    trace.add_argument("--kind", default=None,
+                       help="filter events by kind (e.g. op.end, commit)")
+    trace.add_argument("--actor", default=None,
+                       help="filter events by actor")
     return parser
 
 
@@ -101,9 +139,26 @@ def _cmd_madbench(args) -> int:
 
 def _cmd_figure(args) -> int:
     import importlib
+    import inspect
 
     driver = importlib.import_module(f"repro.bench.{args.name}")
-    print(driver.run(args.scale).render())
+    hub = None
+    if args.metrics_out:
+        if "hub" not in inspect.signature(driver.run).parameters:
+            print(f"{args.name} does not support --metrics-out",
+                  file=sys.stderr)
+            return 2
+        from repro.bench.runner import METRICS_SAMPLE_INTERVAL
+        from repro.obs.hub import MetricsHub
+        hub = MetricsHub(sample_interval=METRICS_SAMPLE_INTERVAL)
+        result = driver.run(args.scale, hub=hub)
+    else:
+        result = driver.run(args.scale)
+    print(result.render())
+    if hub is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(hub.to_json(indent=2))
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -111,17 +166,70 @@ def _cmd_all(args) -> int:
     from repro.bench.report import write_markdown
     from repro.bench.runner import run_all
 
-    results = run_all(args.scale)
+    results = run_all(args.scale, metrics_path=args.metrics_out)
     if args.out:
         write_markdown(results, args.out)
         print(f"report written to {args.out}")
     return 0
 
 
+def _run_observed(args, with_tracer: bool):
+    """Run one Pacon mdtest workload with observability installed.
+
+    Returns the populated :class:`repro.obs.MetricsHub` (its tracer holds
+    the event log when ``with_tracer``).
+    """
+    from repro.bench.systems import make_testbed
+    from repro.obs.hub import MetricsHub
+    from repro.sim.trace import Tracer
+    from repro.workloads.mdtest import MdtestConfig, run_mdtest
+
+    tracer = Tracer() if with_tracer else None
+    interval = args.sample_interval if args.sample_interval > 0 else None
+    hub = MetricsHub(tracer=tracer, sample_interval=interval)
+    bed = make_testbed("pacon", n_apps=1, nodes_per_app=args.nodes,
+                       clients_per_node=args.clients_per_node,
+                       seed=args.seed, hub=hub)
+    phases = tuple(p.strip() for p in args.phases.split(",") if p.strip())
+    config = MdtestConfig(workdir="/app", items_per_client=args.items,
+                          phases=phases)
+    run_mdtest(bed.env, bed.clients, config)
+    bed.quiesce()
+    hub.stop_samplers()
+    return hub
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"written to {out}")
+    else:
+        print(text)
+
+
+def _cmd_stats(args) -> int:
+    hub = _run_observed(args, with_tracer=False)
+    _emit(hub.to_json(indent=None if args.compact else 2), args.out)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    hub = _run_observed(args, with_tracer=True)
+    filters = {}
+    if args.kind:
+        filters["kind"] = args.kind
+    if args.actor:
+        filters["actor"] = args.actor
+    _emit(hub.tracer.render(limit=args.limit, **filters), args.out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"mdtest": _cmd_mdtest, "madbench": _cmd_madbench,
-                "figure": _cmd_figure, "all": _cmd_all}
+                "figure": _cmd_figure, "all": _cmd_all,
+                "stats": _cmd_stats, "trace": _cmd_trace}
     return handlers[args.command](args)
 
 

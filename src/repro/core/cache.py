@@ -217,6 +217,14 @@ class DistributedCache:
     def total_items(self) -> int:
         return sum(len(s.kv) for s in self.shards)
 
+    def used_bytes(self) -> int:
+        return sum(s.kv.used_bytes for s in self.shards)
+
+    def hit_miss_counts(self) -> Tuple[int, int]:
+        """(hits, misses) summed over all shards."""
+        return (sum(s.kv.hits for s in self.shards),
+                sum(s.kv.misses for s in self.shards))
+
     def hit_rate(self) -> float:
         hits = sum(s.kv.hits for s in self.shards)
         misses = sum(s.kv.misses for s in self.shards)

@@ -27,7 +27,8 @@ conformance tests and bench read that.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+import functools
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.core.cache import new_record
 from repro.core.commit import OpMessage
@@ -41,10 +42,35 @@ from repro.dfs.errors import (
 )
 from repro.dfs.inode import FileType, Inode
 from repro.dfs.namespace import normalize_path, parent_of
-from repro.kvstore.memkv import KeyExists
+from repro.kvstore.memkv import CasMismatch, KeyExists
 from repro.sim.core import Event
+from repro.sim.rng import stable_hash
 
 __all__ = ["PaconClient"]
+
+
+def _traced(fn):
+    """Wrap a client operation generator in an observability span.
+
+    When neither the region's tracer nor its metrics hub is enabled (the
+    default ``NULL_TRACER``/``NULL_HUB`` pair), the original generator is
+    returned untouched — the fast path costs two attribute reads and no
+    simulated time.  Otherwise the generator is driven through
+    :meth:`PaconClient._spanned`, which emits paired ``op.start``/
+    ``op.end`` events (closing the span even when the op raises) and feeds
+    the per-op-type latency histogram.
+    """
+    op = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(self, path, *args, **kwargs):
+        gen = fn(self, path, *args, **kwargs)
+        region = self.region
+        if not (region.tracer.enabled or region.hub.enabled):
+            return gen
+        return self._spanned(op, path, gen)
+
+    return wrapper
 
 
 class PaconClient:
@@ -64,6 +90,9 @@ class PaconClient:
         self.dfs_client = region.dfs.client(node, uid=self.uid, gid=self.gid)
         self.trace = trace
         self.last_trace: Optional[Dict[str, Any]] = None
+        #: Table-I classification of the current/most recent op, kept as a
+        #: cheap tuple so spans can tag op.end events with it.
+        self.last_class: Optional[Tuple[str, str, str]] = None
         #: Ablation switch: emulate the traditional layer-by-layer
         #: permission check *inside the distributed cache* (one KV get per
         #: path level) instead of batch permission management.  Used by the
@@ -84,9 +113,41 @@ class PaconClient:
     # ------------------------------------------------------------------ utils
     def _note(self, op: str, cache_op: str, comm: str, commit: str) -> None:
         self.ops += 1
+        self.last_class = (cache_op, comm, commit)
         if self.trace:
             self.last_trace = {"op": op, "cache_op": cache_op,
                                "comm": comm, "commit": commit}
+
+    def _spanned(self, op: str, path: str,
+                 inner: Generator[Event, Any, Any],
+                 ) -> Generator[Event, Any, Any]:
+        """Drive ``inner`` inside an op.start/op.end span (see _traced)."""
+        tracer = self.region.tracer
+        hub = self.region.hub
+        actor = f"client:{self.region.name}#{self.client_id}"
+        op_id = tracer.new_op_id() if tracer.enabled else None
+        t0 = self.env.now
+        self.last_class = None
+        if tracer.enabled:
+            tracer.emit(t0, actor, "op.start", f"{op} {path}", op_id)
+        outcome = "ok"
+        try:
+            result = yield from inner
+            return result
+        except BaseException as exc:
+            outcome = type(exc).__name__
+            raise
+        finally:
+            t1 = self.env.now
+            if tracer.enabled:
+                detail = f"{op} {path} [{outcome}]"
+                if self.last_class is not None:
+                    cache_op, comm, commit = self.last_class
+                    detail += (f" cache={cache_op} comm={comm}"
+                               f" commit={commit}")
+                tracer.emit(t1, actor, "op.end", detail, op_id)
+            if hub.enabled:
+                hub.observe_op(op, t1 - t0, ok=outcome == "ok")
 
     def _provisional_ino(self) -> int:
         return self.region.alloc_provisional_ino()
@@ -192,12 +253,14 @@ class PaconClient:
             pass
 
     # ------------------------------------------------------- write operations
+    @_traced
     def mkdir(self, path: str,
               mode: Optional[int] = None) -> Generator[Event, Any, Inode]:
         inode = yield from self._create_entry("mkdir", path, mode,
                                               FileType.DIRECTORY)
         return inode
 
+    @_traced
     def create(self, path: str,
                mode: Optional[int] = None) -> Generator[Event, Any, Inode]:
         inode = yield from self._create_entry("create", path, mode,
@@ -251,7 +314,6 @@ class PaconClient:
                 if not old.get("deleted"):
                     raise FileExists(path)
                 # Recreate over a pending-removal entry: CAS it over.
-                from repro.kvstore.memkv import CasMismatch
                 try:
                     yield from self.region.cache.cas(self.node, path, record,
                                                      token)
@@ -265,6 +327,7 @@ class PaconClient:
         self._note(op, "put", "async", "indep")
         return Inode.from_record(record)
 
+    @_traced
     def rm(self, path: str) -> Generator[Event, Any, None]:
         """Remove a file (Table I: update & delete / async / independent)."""
         path = normalize_path(path)
@@ -318,6 +381,7 @@ class PaconClient:
     unlink = rm
 
     # -------------------------------------------------------- read operations
+    @_traced
     def getattr(self, path: str) -> Generator[Event, Any, Inode]:
         path = normalize_path(path)
         target = self._route(path)
@@ -354,6 +418,7 @@ class PaconClient:
         except FileNotFound:
             return False
 
+    @_traced
     def readdir(self, path: str) -> Generator[Event, Any, List[str]]:
         """List a directory (Table I: no cache op, sync, barrier).
 
@@ -377,6 +442,7 @@ class PaconClient:
         return names
 
     # --------------------------------------------------- dependent operations
+    @_traced
     def rmdir(self, path: str) -> Generator[Event, Any, int]:
         """Remove a directory tree (Table I: delete / sync / barrier)."""
         path = normalize_path(path)
@@ -406,6 +472,7 @@ class PaconClient:
         return removed
 
     # ------------------------------------------------- extension operations
+    @_traced
     def rename(self, src: str, dst: str) -> Generator[Event, Any, None]:
         """Atomic rename (extension beyond Table I).
 
@@ -441,6 +508,7 @@ class PaconClient:
                              if not (p == src or p.startswith(src + "/"))}
         self._note("rename", "delete", "sync", "barrier")
 
+    @_traced
     def chmod(self, path: str, mode: int) -> Generator[Event, Any, None]:
         """Change permissions (extension beyond Table I).
 
@@ -461,12 +529,15 @@ class PaconClient:
         yield from self._charge_client_cpu()
         yield from self._check_permission("setattr", path)
 
-        state = {"found": False, "committed": False}
+        state = {"deleted": False, "committed": False}
 
         def apply(record):
             if record.get("deleted"):
+                # Pending removal: the file is going away; chmod must fail
+                # like it would on a removed file, not fall through to the
+                # miss path and resurrect the old inode from the DFS.
+                state["deleted"] = True
                 return None
-            state["found"] = True
             state["committed"] = record.get("committed", False)
             record["mode"] = mode
             record["mtime"] = self.env.now
@@ -474,8 +545,14 @@ class PaconClient:
 
         updated = yield from self.region.cache.update(self.node, path,
                                                       apply)
-        if updated is None and not state["found"]:
-            # Not cached: it must exist on the DFS to be chmod-able.
+        if state["deleted"]:
+            raise FileNotFound(path)
+        if updated is None:
+            # Not cached — or the record vanished mid-update (a concurrent
+            # rm commit or rmdir cleanup won the race).  Either way the
+            # DFS copy is authoritative: it must exist there to be
+            # chmod-able (getattr raises FileNotFound otherwise), and the
+            # backup-copy update below must not be skipped.
             inode = yield from self.dfs_client.getattr(path)  # may raise
             record = new_record(inode.to_record(), committed=True)
             record["mode"] = mode
@@ -489,6 +566,7 @@ class PaconClient:
         self._note("chmod", "cas-update", "sync", "none")
 
     # ------------------------------------------------------------- file data
+    @_traced
     def write(self, path: str, offset: int, data: Optional[bytes] = None,
               size: Optional[int] = None) -> Generator[Event, Any, int]:
         """Write file data: inline in the cache while small, DFS once large.
@@ -587,6 +665,7 @@ class PaconClient:
 
         yield from self.region.cache.update(self.node, path, finalize)
 
+    @_traced
     def read(self, path: str, offset: int,
              size: int) -> Generator[Event, Any, bytes]:
         """Read file data; returns bytes (zero-filled for synthetic data)."""
@@ -619,6 +698,7 @@ class PaconClient:
         self._note("read", "get", "none", "none")
         return data[offset:offset + size]
 
+    @_traced
     def fsync(self, path: str) -> Generator[Event, Any, None]:
         """Force inline data to the DFS (§III.D.2).
 
@@ -646,8 +726,12 @@ class PaconClient:
             self._note("fsync", "get", "sync", "none")
             return
         # Not on the DFS yet: park the bytes in a per-region cache file.
+        # The name must come from a process-invariant hash: the built-in
+        # hash() is salted per process, which would give every run (and
+        # every client process) different shadow paths and break the
+        # same-seed-identical-trace guarantee.
         shadow_path = (f"{self.region.dfs_shadow_dir}/"
-                       f"{self.client_id}-{abs(hash(path)) % (1 << 30)}")
+                       f"{self.client_id}-{stable_hash(path) % (1 << 30)}")
         try:
             yield from self.dfs_client.create(shadow_path)
         except FileExists:

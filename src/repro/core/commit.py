@@ -160,6 +160,7 @@ class CommitProcess:
                         self.node.node_id)
                     and not self._pending):
                 epoch = self.current_epoch
+                wait_started = self.env.now
                 gen = yield self.region.commit_barrier.arrive()
                 # All commit processes have drained this epoch.
                 self.region.signal_barrier_complete(gen)
@@ -169,6 +170,12 @@ class CommitProcess:
                 self.region.tracer.emit(self.env.now,
                                         f"commit:{self.node.name}",
                                         "barrier", f"epoch {epoch} done")
+                hub = self.region.hub
+                if hub.enabled:
+                    # Stall between local drain and region-wide release.
+                    hub.observe("commit.barrier_wait",
+                                self.env.now - wait_started)
+                    hub.count("commit.barriers_passed")
                 # Release operations held for the new epoch.
                 for msg in self._future.pop(self.current_epoch, []):
                     yield from self._dispatch(msg)
@@ -220,6 +227,8 @@ class CommitProcess:
             self.discarded += 1
             self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
                                     "discard", f"{op.op} {op.path}")
+            if self.region.hub.enabled:
+                self.region.hub.count("commit.discarded")
             return
         # The mode may have changed since the op was queued (chmod on a
         # not-yet-committed entry); the cache record of this generation is
@@ -269,6 +278,8 @@ class CommitProcess:
                                         f"commit:{self.node.name}",
                                         "discard",
                                         f"orphan {op.op} {op.path}")
+                if self.region.hub.enabled:
+                    self.region.hub.count("commit.discarded")
                 return
             yield from self._resubmit(op)
             return
@@ -276,11 +287,20 @@ class CommitProcess:
         self.region.ops_committed += 1
         self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
                                 "commit", f"{op.op} {op.path}")
+        hub = self.region.hub
+        if hub.enabled:
+            # Publish→commit latency: OpMessage.timestamp is stamped when
+            # the client pushes the message into its commit queue.
+            hub.observe_commit(op.op, self.env.now - op.timestamp)
+            if op.retries > 0:
+                hub.observe("commit.retries_to_commit", op.retries)
         yield from self._after_commit(op, committed_mode=mode)
 
     def _resubmit(self, op: OpMessage) -> Generator[Event, Any, None]:
         op.retries += 1
         self.resubmissions += 1
+        if self.region.hub.enabled:
+            self.region.hub.count("commit.resubmissions")
         if op.retries > self.MAX_RETRIES:
             raise CommitStalled(f"{op.op} {op.path} exceeded"
                                 f" {self.MAX_RETRIES} resubmissions")

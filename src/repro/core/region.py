@@ -81,10 +81,13 @@ class ConsistentRegion:
         self.merged: List["ConsistentRegion"] = []
         # Commit processes register here (deploy wires them).
         self.commit_processes: List = []
-        # Optional structured tracing (repro.sim.trace); NULL by default so
-        # the hot path pays nothing.
+        # Optional observability (repro.sim.trace / repro.obs); NULL by
+        # default so the hot path pays nothing.  MetricsHub.attach_region
+        # swaps both in.
+        from repro.obs.hub import NULL_HUB
         from repro.sim.trace import NULL_TRACER
         self.tracer = NULL_TRACER
+        self.hub = NULL_HUB
         # Shadow directory on the DFS for fsync-before-create cache files
         # (§III.D.2); the deployment materializes it.
         safe = self.workspace.strip("/").replace("/", "_") or "root"

@@ -33,6 +33,10 @@ class MessageQueue:
         self._pending_gets: List[Event] = []
         self.published = 0
         self.delivered = 0
+        #: High-water mark of the backlog; updated on publish so the
+        #: observability export can report worst-case queueing without a
+        #: sampler catching the exact instant.
+        self.peak_depth = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -46,6 +50,9 @@ class MessageQueue:
             raise QueueClosed(f"publish on closed queue {self.name!r}")
         self.published += 1
         self._store.put(message)
+        depth = len(self._store)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
 
     def get(self) -> Event:
         """Event that fires with the next message (or fails QueueClosed)."""
@@ -130,3 +137,7 @@ class QueueGroup:
 
     def total_backlog(self) -> int:
         return sum(len(q) for q in self._queues.values())
+
+    def depths(self) -> Dict[Any, int]:
+        """Current backlog per node key (observability snapshot)."""
+        return {key: len(q) for key, q in self._queues.items()}

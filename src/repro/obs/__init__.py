@@ -1,0 +1,23 @@
+"""Observability: spans, metrics aggregation, and gauge sampling.
+
+The subsystem has three pieces:
+
+* per-operation **spans** — emitted by :class:`repro.core.client.PaconClient`
+  into the region's :class:`repro.sim.trace.Tracer` (``op.start``/``op.end``
+  pairs that close even when the operation raises),
+* a :class:`MetricsHub` — the region-wide aggregation point for client,
+  commit, cache, and queue statistics, exporting one stable-ordered JSON
+  document,
+* a :class:`GaugeSampler` — a DES process that records queue-depth and
+  cache gauges at a configurable simulated-time interval.
+
+Everything is off by default: regions carry :data:`NULL_HUB` (and
+``NULL_TRACER``), whose ``enabled`` flag short-circuits every hot-path
+call site, so a run without observability spends zero simulated time and
+negligible wall time on it.
+"""
+
+from repro.obs.hub import MetricsHub, NULL_HUB
+from repro.obs.sampler import GaugeSampler
+
+__all__ = ["MetricsHub", "NULL_HUB", "GaugeSampler"]

@@ -1,0 +1,196 @@
+"""The MetricsHub: region-wide metric aggregation and stable JSON export.
+
+One hub serves a whole experiment.  Regions and clients are *attached* to
+it (attaching a region also installs the hub and its tracer onto the
+region, which is what turns the client/commit hot-path instrumentation
+on); at export time the hub combines
+
+* its own :class:`~repro.sim.stats.StatsRegistry` (latency histograms,
+  commit counters, sampled gauge series), and
+* a snapshot of every attached region (cache, queue, commit-process, and
+  barrier state) and client (op/hit/miss/redirect counts)
+
+into one JSON document with fully sorted keys, so two same-seed runs
+produce byte-identical exports and ``diff`` localizes any divergence.
+
+The shared :data:`NULL_HUB` is the disabled instance every region starts
+with; its ``enabled`` flag is the only thing hot paths ever read from it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.sampler import GaugeSampler
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER, Tracer
+
+__all__ = ["MetricsHub", "NULL_HUB"]
+
+SCHEMA = "pacon.metrics/v1"
+
+
+class MetricsHub:
+    """Aggregates client + commit + cache + queue statistics region-wide."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 sample_interval: Optional[float] = None,
+                 enabled: bool = True):
+        self.enabled = enabled
+        self.stats = StatsRegistry()
+        #: Tracer shared with every attached region; NULL_TRACER unless the
+        #: caller wants span/commit events collected too.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Simulated-seconds between gauge samples; None disables sampling.
+        self.sample_interval = sample_interval
+        self._regions: List[Any] = []
+        self._clients: List[Any] = []
+        self._samplers: List[GaugeSampler] = []
+
+    # -- recording (hot paths guard on .enabled before calling) ------------
+    def observe_op(self, op: str, latency: float, ok: bool = True) -> None:
+        """One completed client operation with its simulated latency."""
+        self.stats.histogram(f"client.op.{op}.latency").observe(latency)
+        self.stats.counter("client.ops").inc()
+        if not ok:
+            self.stats.counter(f"client.op.{op}.errors").inc()
+
+    def observe_commit(self, op: str, latency: float) -> None:
+        """One committed operation; latency is publish→commit."""
+        self.stats.histogram("commit.latency").observe(latency)
+        self.stats.histogram(f"commit.op.{op}.latency").observe(latency)
+        self.stats.counter("commit.committed").inc()
+
+    def observe(self, name: str, value: float) -> None:
+        self.stats.histogram(name).observe(value)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.stats.counter(name).inc(n)
+
+    def record_sample(self, name: str, time: float, value: float) -> None:
+        self.stats.series(name).append(time, value)
+
+    # -- wiring ------------------------------------------------------------
+    def attach_region(self, region, start_sampler: bool = True):
+        """Install this hub (and its tracer) on ``region``.
+
+        Starts a :class:`GaugeSampler` for the region when the hub has a
+        ``sample_interval`` and ``start_sampler`` is left on.
+        """
+        region.hub = self
+        region.tracer = self.tracer
+        self._regions.append(region)
+        if start_sampler and self.sample_interval:
+            sampler = GaugeSampler(self, region, self.sample_interval)
+            sampler.start()
+            self._samplers.append(sampler)
+        return region
+
+    def attach_client(self, client) -> None:
+        self._clients.append(client)
+
+    @property
+    def samplers(self) -> List[GaugeSampler]:
+        return list(self._samplers)
+
+    def stop_samplers(self) -> None:
+        for sampler in self._samplers:
+            sampler.stop()
+
+    # -- export ------------------------------------------------------------
+    def export(self) -> Dict[str, Any]:
+        """One aggregated document; keys sort stably for run-to-run diffs."""
+        regions: Dict[str, Any] = {}
+        for idx, region in enumerate(self._regions):
+            regions[f"{idx:02d}:{region.name}"] = _region_snapshot(region)
+        return {
+            "schema": SCHEMA,
+            "enabled": self.enabled,
+            "counters": self.stats.counters(),
+            "histograms": self.stats.histograms(),
+            "meters": self.stats.meters(),
+            "series": self.stats.series_export(),
+            "regions": regions,
+            "clients": _client_snapshot(self._clients),
+            "trace": {"events": len(self.tracer),
+                      "dropped": self.tracer.dropped},
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.export(), sort_keys=True, indent=indent)
+
+
+def _region_snapshot(region) -> Dict[str, Any]:
+    commit = {"committed": 0, "discarded": 0, "resubmissions": 0,
+              "barriers_passed": 0}
+    for cp in region.commit_processes:
+        commit["committed"] += cp.committed
+        commit["discarded"] += cp.discarded
+        commit["resubmissions"] += cp.resubmissions
+        commit["barriers_passed"] += cp.barriers_passed
+    queues = {}
+    for queue in region.queues.queues():
+        queues[queue.name] = {"depth": len(queue),
+                              "peak_depth": queue.peak_depth,
+                              "published": queue.published,
+                              "delivered": queue.delivered}
+    hits, misses = region.cache.hit_miss_counts()
+    return {
+        "workspace": region.workspace,
+        "nodes": len(region.nodes),
+        "clients": region.total_clients(),
+        "ops_submitted": region.ops_submitted,
+        "ops_committed": region.ops_committed,
+        "barrier_epochs_completed": region.barrier_epochs_completed,
+        "cache": {
+            "items": region.cache.total_items(),
+            "used_bytes": region.cache.used_bytes(),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": region.cache.hit_rate(),
+            "cas_retries": region.cache.cas_retries,
+        },
+        "queues": queues,
+        "commit": commit,
+    }
+
+
+def _client_snapshot(clients) -> Dict[str, int]:
+    snap = {"count": len(clients), "ops": 0, "cache_hits": 0,
+            "cache_misses": 0, "redirects": 0}
+    for client in clients:
+        snap["ops"] += client.ops
+        snap["cache_hits"] += client.cache_hits
+        snap["cache_misses"] += client.cache_misses
+        snap["redirects"] += client.redirects
+    return snap
+
+
+class _NullHub(MetricsHub):
+    """Shared disabled hub; recording methods discard everything."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def observe_op(self, *a, **kw) -> None:  # pragma: no cover - trivial
+        return
+
+    def observe_commit(self, *a, **kw) -> None:  # pragma: no cover
+        return
+
+    def observe(self, *a, **kw) -> None:  # pragma: no cover - trivial
+        return
+
+    def count(self, *a, **kw) -> None:  # pragma: no cover - trivial
+        return
+
+    def record_sample(self, *a, **kw) -> None:  # pragma: no cover
+        return
+
+    def attach_region(self, region, start_sampler: bool = True):
+        raise RuntimeError("NULL_HUB is shared and read-only; create a"
+                           " MetricsHub() to attach regions")
+
+
+NULL_HUB = _NullHub()

@@ -13,7 +13,7 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngStreams"]
+__all__ = ["RngStreams", "stable_hash"]
 
 
 class RngStreams:
@@ -49,10 +49,21 @@ class RngStreams:
         return f"<RngStreams seed={self.seed} streams={sorted(self._streams)}>"
 
 
-def _stable_hash(name: str) -> int:
-    """A process-invariant string hash (Python's hash() is salted)."""
+def stable_hash(name: str) -> int:
+    """A process-invariant string hash (Python's hash() is salted).
+
+    Anything that derives an on-"disk" or on-wire name from a path — e.g.
+    the fsync shadow files of §III.D.2 — must use this instead of the
+    built-in ``hash()``, or two runs (or two processes of one run) with
+    different ``PYTHONHASHSEED`` values diverge and break the
+    same-seed-identical-trace guarantee of :mod:`repro.sim.trace`.
+    """
     h = 1469598103934665603  # FNV-1a 64-bit
     for byte in name.encode("utf-8"):
         h ^= byte
         h = (h * 1099511628211) % (2 ** 64)
     return h % (2 ** 32)
+
+
+#: Backwards-compatible private alias (pre-export name).
+_stable_hash = stable_hash

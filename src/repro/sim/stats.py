@@ -9,11 +9,12 @@ needed; a cap guards pathological runs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Counter", "Histogram", "ThroughputMeter", "StatsRegistry"]
+__all__ = ["Counter", "Histogram", "Series", "ThroughputMeter",
+           "StatsRegistry"]
 
 
 class Counter:
@@ -79,6 +80,44 @@ class Histogram:
         }
 
 
+class Series:
+    """An append-only time-indexed gauge (sampler output).
+
+    Each point is ``(simulated_time, value)``; the observability sampler
+    appends one point per gauge per tick.  A cap guards runaway runs, with
+    the overflow counted in ``dropped`` (mirroring :class:`Histogram`).
+    """
+
+    def __init__(self, name: str, max_points: int = 1_000_000):
+        self.name = name
+        self.max_points = max_points
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self.dropped = 0
+
+    def append(self, time: float, value: float) -> None:
+        if len(self._times) >= self.max_points:
+            self.dropped += 1
+            return
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        if not self._times:
+            return None
+        return self._times[-1], self._values[-1]
+
+    def export(self) -> Dict[str, Any]:
+        return {"t": list(self._times), "v": list(self._values),
+                "dropped": self.dropped}
+
+
 class ThroughputMeter:
     """Counts completions between mark() calls; reports ops/second.
 
@@ -113,8 +152,25 @@ class ThroughputMeter:
             raise RuntimeError(f"meter {self.name!r} not stopped")
         return end - self._started_at
 
-    def ops_per_second(self) -> float:
-        elapsed = self.elapsed
+    def elapsed_at(self, now: Optional[float] = None) -> float:
+        """Total, never-throwing elapsed time.
+
+        A running meter reports against ``now`` when given, else 0.0 — so
+        an export-time snapshot of a registry with one still-running meter
+        cannot poison the whole export (unlike :attr:`elapsed`, which is
+        strict and raises).
+        """
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at
+        if end is None:
+            if now is None:
+                return 0.0
+            return max(0.0, now - self._started_at)
+        return end - self._started_at
+
+    def ops_per_second(self, now: Optional[float] = None) -> float:
+        elapsed = self.elapsed_at(now)
         if elapsed <= 0:
             return 0.0
         return self.ops / elapsed
@@ -127,6 +183,7 @@ class StatsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._meters: Dict[str, ThroughputMeter] = {}
+        self._series: Dict[str, Series] = {}
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
@@ -146,14 +203,27 @@ class StatsRegistry:
             m = self._meters[name] = ThroughputMeter(name)
         return m
 
+    def series(self, name: str) -> Series:
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = Series(name)
+        return s
+
     def counters(self) -> Dict[str, int]:
         return {k: v.value for k, v in sorted(self._counters.items())}
 
     def histograms(self) -> Dict[str, Dict[str, float]]:
         return {k: v.summary() for k, v in sorted(self._histograms.items())}
 
-    def meters(self) -> Dict[str, float]:
-        return {k: v.ops_per_second() for k, v in sorted(self._meters.items())}
+    def meters(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Snapshot every meter; running meters report 0.0 (or against
+        ``now``) instead of raising, so one unstopped meter cannot poison
+        the whole export."""
+        return {k: v.ops_per_second(now)
+                for k, v in sorted(self._meters.items())}
+
+    def series_export(self) -> Dict[str, Dict[str, Any]]:
+        return {k: v.export() for k, v in sorted(self._series.items())}
 
     def merge_counters(self, names: Iterable[str]) -> int:
         return sum(self._counters[n].value for n in names

@@ -100,6 +100,9 @@ class Tracer:
         lines = lines[:limit]
         if clipped > 0:
             lines.append(f"... {clipped} more events")
+        if self.dropped > 0:
+            lines.append(f"... {self.dropped} events dropped"
+                         f" (capacity {self.capacity})")
         return "\n".join(lines)
 
     def clear(self) -> None:

@@ -1,0 +1,81 @@
+"""Cross-process determinism: same seed → byte-identical observable output.
+
+Regression for the salted-``hash()`` shadow-file names: fsync used the
+built-in ``hash(path)`` to name its DFS cache files, which varies with
+``PYTHONHASHSEED`` — so two same-seed runs in different processes produced
+different shadow paths, traces, and metrics exports.  The fix routes the
+name through ``repro.sim.rng.stable_hash``.  This test runs the same
+seeded workload in two subprocesses with *different* hash seeds and
+requires identical output (shadow file listing + trace rendering +
+MetricsHub JSON); it fails before the fix.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SCRIPT = r"""
+from repro.core.config import PaconConfig
+from repro.core.deploy import PaconDeployment
+from repro.dfs.beegfs import BeeGFS
+from repro.obs.hub import MetricsHub
+from repro.sim.core import run_sync
+from repro.sim.network import Cluster
+from repro.sim.trace import Tracer
+
+cluster = Cluster(seed=7)
+dfs = BeeGFS(cluster)
+nodes = [cluster.add_node(f"client{i}") for i in range(2)]
+dep = PaconDeployment(cluster, dfs)
+# start_commit=False keeps creates uncommitted, so fsync must park the
+# inline bytes in hash-named shadow files on the DFS.
+region = dep.create_region(PaconConfig(workspace="/app"), nodes,
+                           start_commit=False)
+hub = MetricsHub(tracer=Tracer(), sample_interval=100e-6)
+hub.attach_region(region)
+clients = [dep.client(region, node) for node in nodes]
+for client in clients:
+    hub.attach_client(client)
+
+
+def work(client, tag):
+    yield from client.mkdir(f"/app/{tag}")
+    for j in range(4):
+        path = f"/app/{tag}/f{j}"
+        yield from client.create(path)
+        yield from client.write(path, 0, size=512)
+        yield from client.fsync(path)
+
+
+for i, client in enumerate(clients):
+    run_sync(cluster.env, work(client, f"d{i}"), label=f"work{i}")
+dep.start_commit_processes(region)
+dep.quiesce_sync(region)
+hub.stop_samplers()
+
+shadows = sorted(path for path, inode in
+                 dfs.namespace.walk(region.dfs_shadow_dir)
+                 if path != region.dfs_shadow_dir)
+assert len(shadows) >= 8, f"expected shadow files, got {shadows}"
+print("\n".join(shadows))
+print("===")
+print(hub.tracer.render(limit=100000))
+print("===")
+print(hub.to_json())
+"""
+
+
+def _run(hashseed: int) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=str(hashseed), PYTHONPATH=SRC)
+    proc = subprocess.run([sys.executable, "-c", SCRIPT],
+                          capture_output=True, text=True, env=env,
+                          timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_output_identical_across_hash_seeds():
+    assert _run(1) == _run(2)

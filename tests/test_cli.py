@@ -1,5 +1,7 @@
 """Tests for the pacon-bench CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,6 +20,18 @@ class TestParser:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.nodes == 2
+        assert args.sample_interval == pytest.approx(200e-6)
+        assert not args.compact
+
+    def test_trace_filters(self):
+        args = build_parser().parse_args(
+            ["trace", "--kind", "op.end", "--limit", "10"])
+        assert args.kind == "op.end"
+        assert args.limit == 10
 
 
 class TestCommands:
@@ -58,3 +72,51 @@ class TestCommands:
         content = out_file.read_text()
         assert "## fig07" in content
         assert "## sensitivity" in content
+
+
+class TestObservabilityCommands:
+    def test_stats_writes_metrics_json(self, tmp_path, capsys):
+        out_file = tmp_path / "metrics.json"
+        rc = main(["stats", "--nodes", "2", "--clients-per-node", "2",
+                   "--items", "5", "--out", str(out_file)])
+        assert rc == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "pacon.metrics/v1"
+        assert doc["histograms"]["client.op.mkdir.latency"]["count"] > 0
+        assert doc["counters"]["commit.committed"] > 0
+        assert any(name.startswith("queue.depth[")
+                   for name in doc["series"])
+
+    def test_stats_compact_to_stdout(self, capsys):
+        rc = main(["stats", "--nodes", "1", "--clients-per-node", "2",
+                   "--items", "3", "--compact"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["schema"] == "pacon.metrics/v1"
+        assert out.count("\n") == 1  # single line + trailing newline
+
+    def test_trace_renders_spans(self, capsys):
+        rc = main(["trace", "--nodes", "1", "--clients-per-node", "2",
+                   "--items", "3", "--limit", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "op.start" in out
+        assert "op.end" in out
+        assert "[ok]" in out
+
+    def test_trace_kind_filter(self, capsys):
+        rc = main(["trace", "--nodes", "1", "--clients-per-node", "1",
+                   "--items", "2", "--kind", "op.end", "--limit", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "op.end" in out
+        assert "op.start" not in out
+
+    def test_figure_without_hub_support_rejects_metrics_out(
+            self, tmp_path, capsys):
+        rc = main(["figure", "fig01", "--scale", "smoke",
+                   "--metrics-out", str(tmp_path / "m.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "does not support --metrics-out" in err
