@@ -77,7 +77,9 @@ def make_testbed(system: str, n_apps: int = 1, nodes_per_app: int = 2,
                  split_threshold: int = 2000,
                  parent_check: bool = True,
                  trace_clients: bool = False,
-                 hub: Optional[Any] = None) -> TestBed:
+                 hub: Optional[Any] = None,
+                 commit_batch_size: Optional[int] = None,
+                 commit_coalesce: Optional[bool] = None) -> TestBed:
     """Build one system with ``n_apps`` applications.
 
     Application ``k`` gets workspace ``{workdir_base}{k}`` (or exactly
@@ -133,12 +135,18 @@ def make_testbed(system: str, n_apps: int = 1, nodes_per_app: int = 2,
     # pacon
     bed.dfs = BeeGFS(cluster, n_mds=n_mds, n_data=n_data)
     bed.pacon = PaconDeployment(cluster, bed.dfs)
+    commit_kwargs = {}
+    if commit_batch_size is not None:
+        commit_kwargs["commit_batch_size"] = commit_batch_size
+    if commit_coalesce is not None:
+        commit_kwargs["commit_coalesce"] = commit_coalesce
     for k, workdir in enumerate(workdirs):
         config = PaconConfig(
             workspace=workdir, uid=1000 + k, gid=1000 + k,
             parent_check=parent_check,
             permissions=PermissionSpec(mode=0o755, uid=1000 + k,
-                                       gid=1000 + k))
+                                       gid=1000 + k),
+            **commit_kwargs)
         region = bed.pacon.create_region(config, app_nodes[k])
         if hub is not None:
             hub.attach_region(region)

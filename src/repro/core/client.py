@@ -201,15 +201,35 @@ class PaconClient:
 
     def _publish(self, op: str, path: str, mode: int,
                  gen_ino: int = -1) -> Generator[Event, Any, None]:
-        """Push an operation message into the local commit queue."""
+        """Push an operation message into the local commit queue.
+
+        With ``config.commit_queue_capacity`` set, a full queue stalls the
+        *client* until the commit process drains below the bound — the
+        backpressure is a visible, metered delay instead of unbounded
+        buffering.  Barrier control messages bypass this path entirely
+        (``ConsistentRegion.trigger_barrier`` publishes directly), so
+        backpressure can never deadlock a barrier rendezvous.
+        """
+        queue = self.region.queues.route(self.node.node_id)
+        capacity = self.region.config.commit_queue_capacity
+        if capacity is not None and len(queue) >= capacity:
+            stall_started = self.env.now
+            while len(queue) >= capacity:
+                yield self.env.timeout(self.region.config.commit_retry_delay)
+            if self.region.hub.enabled:
+                self.region.hub.observe("commit.publish_stall",
+                                        self.env.now - stall_started)
+                self.region.hub.count("commit.publish_stalls")
         if self.costs.commit_queue_push > 0:
             yield self.env.timeout(self.costs.commit_queue_push)
         msg = OpMessage(op=op, path=path, mode=mode, uid=self.uid,
                         gid=self.gid, timestamp=self.env.now,
                         epoch=self.region.client_epoch,
                         client_id=self.client_id, gen_ino=gen_ino)
-        self.region.queues.route(self.node.node_id).publish(msg)
+        queue.publish(msg)
         self.region.ops_submitted += 1
+        if self.region.hub.enabled:
+            self.region.hub.count("commit.published")
 
     def _parent_check(self, path: str) -> Generator[Event, Any, None]:
         """Verify the parent directory exists (cache first, DFS on miss).

@@ -32,10 +32,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Generator, List
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
 from repro.dfs.errors import (
-    DirectoryNotEmpty,
     FileExists,
     FileNotFound,
     NotADirectory,
@@ -88,6 +87,11 @@ class BarrierMessage:
 
     epoch: int
     node_id: int
+    #: Publish instant.  Stamped like OpMessage.timestamp so a queue's
+    #: head message always lower-bounds the age of its whole backlog
+    #: (publish stamps are monotone) — the removed-subtree pruner keys
+    #: off that bound.
+    timestamp: float = 0.0
 
 
 class CommitProcess:
@@ -109,13 +113,21 @@ class CommitProcess:
         self._barrier_counts: Dict[int, int] = {}
         self._pending: Deque[OpMessage] = deque()      # current-epoch retries
         self._future: Dict[int, List[Any]] = {}        # epoch -> held msgs
+        # Batched draining (§III.E stays intact: barrier messages cut
+        # batches, resubmission and the discard rule are per-op).
+        self.batch_size = max(1, region.config.commit_batch_size)
+        self.coalesce_enabled = region.config.commit_coalesce
         # stats
         self.committed = 0
         self.discarded = 0
         self.resubmissions = 0
+        self.coalesced = 0
         self.barriers_passed = 0
         self._process = None
         self._in_flight = 0
+        #: Oldest publish timestamp among ops drained but not yet resolved
+        #: (the removed-subtree pruner must see them as outstanding).
+        self._in_flight_oldest: Optional[float] = None
         #: Set by failure injection; the interrupt that actually stops the
         #: loop is delivered on the next simulation step, so recovery code
         #: keys off this flag rather than the process's alive state.
@@ -136,6 +148,20 @@ class CommitProcess:
                 and not any(self._future.values())
                 and self._in_flight == 0)
 
+    def oldest_outstanding_timestamp(self) -> Optional[float]:
+        """Oldest publish timestamp among this process's unresolved ops
+        (retrying, held for a future epoch, or mid-commit); None if none."""
+        oldest = self._in_flight_oldest
+        for op in self._pending:
+            if oldest is None or op.timestamp < oldest:
+                oldest = op.timestamp
+        for msgs in self._future.values():
+            for msg in msgs:
+                ts = getattr(msg, "timestamp", None)
+                if ts is not None and (oldest is None or ts < oldest):
+                    oldest = ts
+        return oldest
+
     # -- main loop -----------------------------------------------------------
     def run(self) -> Generator[Event, Any, None]:
         """Commit loop; dies cleanly (dropping state) on node failure."""
@@ -150,6 +176,7 @@ class CommitProcess:
             self._future.clear()
             self._barrier_counts.clear()
             self._in_flight = 0
+            self._in_flight_oldest = None
 
     def _loop(self) -> Generator[Event, Any, None]:
         closing = False
@@ -176,6 +203,10 @@ class CommitProcess:
                     hub.observe("commit.barrier_wait",
                                 self.env.now - wait_started)
                     hub.count("commit.barriers_passed")
+                # An epoch boundary is a natural low-water mark: every op
+                # older than the epoch has committed region-wide, so stale
+                # removed-subtree entries can go.
+                self.region.prune_removed_subtrees()
                 # Release operations held for the new epoch.
                 for msg in self._future.pop(self.current_epoch, []):
                     yield from self._dispatch(msg)
@@ -187,17 +218,18 @@ class CommitProcess:
                 except QueueClosed:
                     closing = True
                     continue
-                yield from self._dispatch(msg)
+                if self.batch_size > 1:
+                    batch = [msg]
+                    batch.extend(self.queue.get_batch(self.batch_size - 1))
+                    yield from self._dispatch_batch(batch)
+                else:
+                    yield from self._dispatch(msg)
             elif self._pending:
                 # Nothing new; give blocked dependencies a beat, then retry.
                 yield self.env.timeout(
                     self.region.config.commit_retry_delay)
                 op = self._pending.popleft()
-                self._in_flight += 1
-                try:
-                    yield from self._try_commit(op)
-                finally:
-                    self._in_flight -= 1
+                yield from self._commit_one(op)
             else:
                 # closing and fully drained
                 return
@@ -210,11 +242,166 @@ class CommitProcess:
         if msg.epoch > self.current_epoch:
             self._future.setdefault(msg.epoch, []).append(msg)
             return
+        yield from self._commit_one(msg)
+
+    def _commit_one(self, op: OpMessage) -> Generator[Event, Any, None]:
+        """Commit a single op with in-flight accounting around the attempt."""
         self._in_flight += 1
+        previous_oldest = self._in_flight_oldest
+        if previous_oldest is None or op.timestamp < previous_oldest:
+            self._in_flight_oldest = op.timestamp
         try:
-            yield from self._try_commit(msg)
+            yield from self._try_commit(op)
         finally:
             self._in_flight -= 1
+            self._in_flight_oldest = previous_oldest
+
+    def _dispatch_batch(self, msgs: List[Any]) -> Generator[Event, Any,
+                                                            None]:
+        """Resolve one wakeup's worth of drained messages.
+
+        The queue-pop overhead is paid once for the whole drain — that is
+        the amortization batching buys on the queue side.  Barrier
+        messages cut the drain into segments: operations on either side of
+        a barrier marker never share a coalescing window or an MDS batch,
+        preserving the §III.E epoch discipline.
+
+        Every drained op message counts as in-flight (and holds down the
+        removed-subtree prune cutoff) from the moment it leaves the queue
+        until its segment resolves — ``Region.quiesce`` must never observe
+        a lull while drained work sits in a local variable here.
+        """
+        held = [m for m in msgs if not isinstance(m, BarrierMessage)]
+        self._in_flight += len(held)
+        previous_oldest = self._in_flight_oldest
+        if held:
+            oldest = min(m.timestamp for m in held)
+            if previous_oldest is None or oldest < previous_oldest:
+                self._in_flight_oldest = oldest
+        outstanding = len(held)
+        try:
+            if self.costs.commit_queue_pop > 0:
+                yield self.env.timeout(self.costs.commit_queue_pop)
+            if self.region.hub.enabled:
+                self.region.hub.observe("commit.batch_size", len(msgs))
+            segment: List[OpMessage] = []
+            for msg in msgs:
+                if isinstance(msg, BarrierMessage):
+                    yield from self._commit_segment(segment)
+                    self._in_flight -= len(segment)
+                    outstanding -= len(segment)
+                    segment = []
+                    self._barrier_counts[msg.epoch] = \
+                        self._barrier_counts.get(msg.epoch, 0) + 1
+                elif msg.epoch > self.current_epoch:
+                    self._future.setdefault(msg.epoch, []).append(msg)
+                    self._in_flight -= 1
+                    outstanding -= 1
+                else:
+                    segment.append(msg)
+            yield from self._commit_segment(segment)
+            self._in_flight -= len(segment)
+            outstanding -= len(segment)
+        finally:
+            # Only nonzero when an exception cut the drain short.
+            self._in_flight -= outstanding
+            self._in_flight_oldest = previous_oldest
+
+    def _commit_segment(self, ops: List[OpMessage]) -> Generator[Event, Any,
+                                                                 None]:
+        """Commit one barrier-free run of ops (already counted in-flight)."""
+        if not ops:
+            return
+        if self.coalesce_enabled and len(ops) > 1:
+            ops = yield from self._coalesce(ops)
+            if not ops:
+                return
+        if len(ops) == 1:
+            op = ops[0]
+            if self.region.inside_removed_subtree(op.path, op.timestamp):
+                self._discard(op)
+                return
+            yield from self._attempt_single(op, self._committed_mode(op))
+        else:
+            yield from self._commit_batched(ops)
+
+    def _coalesce(self, ops: List[OpMessage]) -> Generator[Event, Any,
+                                                           List[OpMessage]]:
+        """Cancel (create|mkdir, same-generation rm) pairs inside a batch.
+
+        Neither side of a cancelled pair ever reaches the MDS; the rm's
+        post-commit cache bookkeeping (dropping this generation's
+        tombstone record) still runs, exactly as its commit would have.
+        Generation tags make this safe: a pair only cancels when the cache
+        still holds *this* generation uncommitted — if the create already
+        materialized out of band (small-file threshold crossing) the DFS
+        holds the file and the rm must really run.
+        """
+        alive: List[Optional[OpMessage]] = list(ops)
+        creations: Dict[Tuple[str, int], int] = {}
+        for i, op in enumerate(ops):
+            if op.op in ("create", "mkdir"):
+                creations[(op.path, op.gen_ino)] = i
+            elif op.op == "rm":
+                j = creations.get((op.path, op.gen_ino))
+                if j is None or alive[j] is None:
+                    continue
+                record = self.region.cache.peek(op.path)
+                if record is None or record.get("ino") != op.gen_ino \
+                        or record.get("committed"):
+                    continue
+                alive[i] = None
+                alive[j] = None
+                del creations[(op.path, op.gen_ino)]
+                self.coalesced += 2
+                self.region.tracer.emit(
+                    self.env.now, f"commit:{self.node.name}", "coalesce",
+                    f"create+rm {op.path}")
+                if self.region.hub.enabled:
+                    self.region.hub.count("commit.coalesced", 2)
+                yield from self.region.cache.delete_if_ino(
+                    self.node, op.path, op.gen_ino)
+        return [op for op in alive if op is not None]
+
+    def _commit_batched(self, ops: List[OpMessage]) -> Generator[Event, Any,
+                                                                 None]:
+        """Commit a segment, sharing MDS round trips per parent directory.
+
+        The §III.D.1 discard rule is applied per-op first; survivors are
+        grouped by parent so N same-directory operations pay one ancestor
+        traversal and one (discounted) MDS request.  Each op's outcome is
+        resolved independently — rejected ops resubmit, exactly as they
+        would op-at-a-time.
+        """
+        groups: Dict[str, List[Tuple[OpMessage, int]]] = {}
+        for op in ops:
+            if self.region.inside_removed_subtree(op.path, op.timestamp):
+                self._discard(op)
+                continue
+            groups.setdefault(parent_of(op.path), []).append(
+                (op, self._committed_mode(op)))
+        for group in groups.values():
+            if len(group) == 1:
+                op, mode = group[0]
+                yield from self._attempt_single(op, mode)
+                continue
+            payload = [("unlink" if op.op == "rm" else op.op, op.path,
+                        {} if op.op == "rm" else {"mode": mode})
+                       for op, mode in group]
+            try:
+                results = yield from self.dfs_client.commit_batch(payload)
+            except (FileNotFound, NotADirectory) as exc:
+                # The shared ancestor traversal failed (parent creation
+                # pending in some queue, or subtree removed): every op in
+                # the group fails the same way it would have op-at-a-time.
+                for op, mode in group:
+                    yield from self._handle_commit_failure(op, mode, exc)
+                continue
+            for (op, mode), (status, detail) in zip(group, results):
+                if status == "ok":
+                    yield from self._commit_success(op, mode)
+                else:
+                    yield from self._handle_commit_failure(op, mode, detail)
 
     # -- committing one operation ------------------------------------------------
     def _try_commit(self, op: OpMessage) -> Generator[Event, Any, None]:
@@ -224,20 +411,26 @@ class CommitProcess:
         # Only ops older than the removal are discarded; later re-creations
         # of the same names are legitimate work.
         if self.region.inside_removed_subtree(op.path, op.timestamp):
-            self.discarded += 1
-            self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
-                                    "discard", f"{op.op} {op.path}")
-            if self.region.hub.enabled:
-                self.region.hub.count("commit.discarded")
+            self._discard(op)
             return
-        # The mode may have changed since the op was queued (chmod on a
-        # not-yet-committed entry); the cache record of this generation is
-        # authoritative.
+        yield from self._attempt_single(op, self._committed_mode(op))
+
+    def _committed_mode(self, op: OpMessage) -> int:
+        """The mode this op should commit with.
+
+        The mode may have changed since the op was queued (chmod on a
+        not-yet-committed entry); the cache record of this generation is
+        authoritative.
+        """
         mode = op.mode
         if op.op in ("mkdir", "create"):
             record = self.region.cache.peek(op.path)
             if record is not None and record.get("ino") == op.gen_ino:
                 mode = record.get("mode", mode)
+        return mode
+
+    def _attempt_single(self, op: OpMessage,
+                        mode: int) -> Generator[Event, Any, None]:
         try:
             if op.op == "mkdir":
                 yield from self.dfs_client.mkdir(op.path, mode=mode)
@@ -247,7 +440,15 @@ class CommitProcess:
                 yield from self.dfs_client.unlink(op.path)
             else:  # pragma: no cover - OpMessage validates op names
                 raise ValueError(op.op)
-        except FileExists:
+        except (FileExists, FileNotFound, NotADirectory) as exc:
+            yield from self._handle_commit_failure(op, mode, exc)
+            return
+        yield from self._commit_success(op, mode)
+
+    def _handle_commit_failure(self, op: OpMessage, mode: int,
+                               exc: Exception) -> Generator[Event, Any, None]:
+        """Resolve a DFS rejection: committed-elsewhere, orphan, or retry."""
+        if isinstance(exc, FileExists):
             # The name is occupied.  Either *this generation* was
             # materialized out of band (small-file threshold crossing
             # creates directly and flips the committed flag — check the
@@ -259,11 +460,12 @@ class CommitProcess:
             record = self.region.cache.peek(op.path)
             if (record is not None and record.get("committed")
                     and record.get("ino") == op.gen_ino):
-                pass  # this generation is on the DFS; fall through
+                # this generation is on the DFS; count it committed
+                yield from self._commit_success(op, mode)
             else:
                 yield from self._resubmit(op)
-                return
-        except (FileNotFound, NotADirectory):
+            return
+        if isinstance(exc, (FileNotFound, NotADirectory)):
             # Namespace conventions not yet satisfied — usually the parent
             # creation is pending in some queue: resubmit (§III.E).  But a
             # creation under a removed subtree whose parent has no cache
@@ -273,16 +475,14 @@ class CommitProcess:
             if (op.op in ("create", "mkdir")
                     and self.region.inside_removed_subtree(op.path)
                     and self.region.cache.peek(parent_of(op.path)) is None):
-                self.discarded += 1
-                self.region.tracer.emit(self.env.now,
-                                        f"commit:{self.node.name}",
-                                        "discard",
-                                        f"orphan {op.op} {op.path}")
-                if self.region.hub.enabled:
-                    self.region.hub.count("commit.discarded")
+                self._discard(op, orphan=True)
                 return
             yield from self._resubmit(op)
             return
+        raise exc  # not a namespace-convention rejection: a real bug
+
+    def _commit_success(self, op: OpMessage,
+                        mode: int) -> Generator[Event, Any, None]:
         self.committed += 1
         self.region.ops_committed += 1
         self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
@@ -295,6 +495,15 @@ class CommitProcess:
             if op.retries > 0:
                 hub.observe("commit.retries_to_commit", op.retries)
         yield from self._after_commit(op, committed_mode=mode)
+
+    def _discard(self, op: OpMessage, orphan: bool = False) -> None:
+        self.discarded += 1
+        label = f"{op.op} {op.path}"
+        self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
+                                "discard",
+                                f"orphan {label}" if orphan else label)
+        if self.region.hub.enabled:
+            self.region.hub.count("commit.discarded")
 
     def _resubmit(self, op: OpMessage) -> Generator[Event, Any, None]:
         op.retries += 1

@@ -54,6 +54,23 @@ class PaconConfig:
     #: the namespace conventions (parent not committed yet).
     commit_retry_delay: float = 50e-6
 
+    #: Messages a commit process drains per wakeup.  1 reproduces the
+    #: original op-at-a-time subscriber; larger values amortize the queue
+    #: pop and let same-directory operations share one MDS round trip
+    #: (``DFSClient.commit_batch``).  Convergence (§III.E) is unaffected:
+    #: barrier messages cut batches and the discard rule stays per-op.
+    commit_batch_size: int = 16
+
+    #: Cancel a create/mkdir and a same-generation rm that meet inside one
+    #: drained batch — neither ever reaches the MDS.
+    commit_coalesce: bool = True
+
+    #: Optional bound on each node's commit-queue depth.  When set,
+    #: ``publish`` stalls the client (a visible, metered delay) until the
+    #: commit process drains below the bound, instead of buffering
+    #: unboundedly.  None keeps the paper's unbounded ZeroMQ behaviour.
+    commit_queue_capacity: Optional[int] = None
+
     #: Optional periodic checkpoint interval in simulated seconds (§III.G;
     #: checkpointing is optional and application-driven).
     checkpoint_interval: Optional[float] = None
@@ -70,3 +87,8 @@ class PaconConfig:
                 "need 0 < eviction_target < eviction_high_watermark <= 1")
         if self.cache_capacity_bytes <= 0:
             raise ValueError("cache_capacity_bytes must be positive")
+        if self.commit_batch_size < 1:
+            raise ValueError("commit_batch_size must be >= 1")
+        if self.commit_queue_capacity is not None \
+                and self.commit_queue_capacity < 1:
+            raise ValueError("commit_queue_capacity must be >= 1 or None")

@@ -102,6 +102,12 @@ class PaconDeployment:
         inline small-file data and metadata stay primary-copy-resident
         across the membership change.  Returns the number of records
         migrated (consistent hashing keeps this near 1/(N+1) of the keys).
+
+        Growth is also safe *without* this quiesce while a barrier epoch
+        is in flight: ``ConsistentRegion.add_node`` defers the commit
+        barrier's party bump until every already-triggered epoch has
+        completed, so the new node joins the rendezvous only for epochs
+        whose barrier messages actually reach its queue.
         """
         self.quiesce_sync(region)
         new_shard = region.add_node(node)

@@ -15,7 +15,7 @@ only supports read-only access to the merged consistent region").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.cache import CacheShard, DistributedCache
 from repro.core.config import PaconConfig
@@ -75,8 +75,17 @@ class ConsistentRegion:
         self.clients_on_node: Dict[int, int] = {n.node_id: 0 for n in nodes}
         self._next_client_id = 0
         # Subtrees removed by committed rmdirs: commit processes discard
-        # pending creations inside them (§III.D.1).
-        self.removed_subtrees: List[Tuple[str, int]] = []
+        # pending creations inside them (§III.D.1).  Indexed by normalized
+        # prefix so a discard check walks the op path's ancestors (O(depth)
+        # dict lookups) instead of scanning every removal ever recorded.
+        # Timestamped entries are pruned once no outstanding operation can
+        # still be older than the removal; the timestamp-free set answers
+        # the "was this prefix ever removed" orphan query and only dedups.
+        self._removed_subtrees: Dict[str, float] = {}
+        self._ever_removed: Set[str] = set()
+        # Barrier-party bumps deferred while a rendezvous is in flight
+        # (epoch watermarks; see add_node).
+        self._deferred_barrier_parties: List[int] = []
         # Merged regions reachable for read-only access (§III.D.4).
         self.merged: List["ConsistentRegion"] = []
         # Commit processes register here (deploy wires them).
@@ -156,8 +165,19 @@ class ConsistentRegion:
         self.cache.shards.append(shard)
         self.queues.add_node(node.node_id)
         self.clients_on_node[node.node_id] = 0
-        # The region-wide commit barrier now has one more party.
-        self.commit_barrier.parties += 1
+        # The region-wide commit barrier now has one more party — but only
+        # for epochs triggered from here on.  Epochs already triggered
+        # (including a rendezvous mid-flight right now) were broadcast
+        # before this node's queue existed, so its commit process can never
+        # arrive for them; bumping parties immediately would deadlock the
+        # in-flight epoch (or, with the bump racing arrivals, double-count
+        # a release).  Defer the bump until every already-triggered epoch
+        # has completed.
+        if self.barrier_epochs_completed >= self.client_epoch \
+                and self.commit_barrier.n_waiting == 0:
+            self.commit_barrier.parties += 1
+        else:
+            self._deferred_barrier_parties.append(self.client_epoch)
         return shard
 
     # -- merging (§III.D.4) ----------------------------------------------------------
@@ -199,7 +219,8 @@ class ConsistentRegion:
             queue = self.queues.route(node.node_id)
             for _ in range(max(1, self.clients_on_node[node.node_id])):
                 queue.publish(BarrierMessage(epoch=epoch,
-                                             node_id=node.node_id))
+                                             node_id=node.node_id,
+                                             timestamp=self.env.now))
         done = self._barrier_done.setdefault(
             epoch, self.env.event(name=f"{self.name}.barrier[{epoch}]"))
         return epoch, done
@@ -215,11 +236,32 @@ class ConsistentRegion:
         if not ev.triggered:
             self.barrier_epochs_completed += 1
             ev.succeed(epoch)
+        # Epochs complete in order, so once every epoch triggered before an
+        # elastic add_node has finished, the deferred party bump is safe:
+        # the grown process participates in all later epochs.
+        while self._deferred_barrier_parties and \
+                self.barrier_epochs_completed >= \
+                self._deferred_barrier_parties[0]:
+            self._deferred_barrier_parties.pop(0)
+            self.commit_barrier.parties += 1
 
     def expected_barrier_messages(self, node_id: int) -> int:
         return max(1, self.clients_on_node[node_id])
 
     # -- removed-subtree bookkeeping -----------------------------------------------------
+    @property
+    def removed_subtrees(self) -> List[Tuple[str, float]]:
+        """Unpruned timestamped removal entries (inspection only)."""
+        return sorted(self._removed_subtrees.items())
+
+    @staticmethod
+    def _prefixes(path: str) -> Iterator[str]:
+        """``path`` and every proper ancestor, deepest first (not '/')."""
+        while path != "/":
+            yield path
+            idx = path.rfind("/")
+            path = path[:idx] if idx > 0 else "/"
+
     def note_removed_subtree(self, path: str) -> None:
         """Record a committed rmdir at the current instant.
 
@@ -228,16 +270,73 @@ class ConsistentRegion:
         the same name is legitimate, so the discard check is
         timestamp-bounded.
         """
-        self.removed_subtrees.append((normalize_path(path), self.env.now))
+        self.prune_removed_subtrees()
+        path = normalize_path(path)
+        self._removed_subtrees[path] = self.env.now
+        self._ever_removed.add(path)
 
     def inside_removed_subtree(self, path: str,
                                timestamp: Optional[float] = None) -> bool:
-        """Was ``path`` inside a subtree removed after ``timestamp``?"""
-        for removed, removed_at in self.removed_subtrees:
-            if is_within(path, removed):
-                if timestamp is None or timestamp <= removed_at:
-                    return True
+        """Was ``path`` inside a subtree removed after ``timestamp``?
+
+        ``timestamp=None`` asks the unbounded question — was this prefix
+        *ever* removed (the orphaned-straggler discard extension).
+        """
+        if timestamp is None:
+            if not self._ever_removed:
+                return False
+            path = normalize_path(path)
+            return any(prefix in self._ever_removed
+                       for prefix in self._prefixes(path))
+        if not self._removed_subtrees:
+            return False
+        path = normalize_path(path)
+        for prefix in self._prefixes(path):
+            removed_at = self._removed_subtrees.get(prefix)
+            if removed_at is not None and timestamp <= removed_at:
+                return True
         return False
+
+    def oldest_outstanding_op_timestamp(self) -> Optional[float]:
+        """Publish timestamp of the oldest operation still anywhere in the
+        commit pipeline (queued, held, retrying, or in flight); None when
+        the pipeline is empty.
+
+        Publish stamps are monotone, and each queue is FIFO, so its head
+        message lower-bounds the whole queue — no backlog scan needed.
+        """
+        oldest: Optional[float] = None
+        for queue in self.queues.queues():
+            head = queue.peek_head()
+            ts = getattr(head, "timestamp", None)
+            if ts is not None and (oldest is None or ts < oldest):
+                oldest = ts
+        for cp in self.commit_processes:
+            ts = cp.oldest_outstanding_timestamp()
+            if ts is not None and (oldest is None or ts < oldest):
+                oldest = ts
+        return oldest
+
+    def prune_removed_subtrees(self) -> int:
+        """Drop timestamped removal entries no outstanding op can match.
+
+        An entry ``(path, removed_at)`` only ever dooms operations with
+        ``timestamp <= removed_at``; once every operation still in the
+        pipeline is strictly newer, the entry is dead weight.  Without
+        pruning the index grows per rmdir for the life of the region
+        (and, before the prefix index, was *linearly scanned on every
+        commit attempt*).  Returns the number of entries pruned.
+        """
+        if not self._removed_subtrees:
+            return 0
+        cutoff = self.oldest_outstanding_op_timestamp()
+        if cutoff is None:
+            cutoff = self.env.now
+        stale = [path for path, removed_at in self._removed_subtrees.items()
+                 if removed_at < cutoff]
+        for path in stale:
+            del self._removed_subtrees[path]
+        return len(stale)
 
     # -- shutdown ----------------------------------------------------------------
     def close(self) -> None:

@@ -14,7 +14,7 @@ All methods are DES generators; wrap them with
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import Any, Dict, Generator, List, Tuple
 
 from repro.dfs.inode import Inode
 from repro.dfs.namespace import parent_of, split_path
@@ -81,6 +81,37 @@ class DFSClient:
         yield from self._op(path, "unlink", self.uid, self.gid)
 
     rm = unlink  # alias shared with the Pacon/IndexFS client protocols
+
+    def commit_batch(self, ops: List[Tuple[str, str, Dict]],
+                     ) -> Generator[Event, Any, List[Tuple[str, Any]]]:
+        """Apply several same-parent mutations in one MDS round trip.
+
+        ``ops`` is a list of ``(op, path, kwargs)`` with ``op`` one of
+        ``mkdir``/``create``/``unlink``; every path must share one parent
+        directory (one ancestor traversal and one owning MDS cover the
+        whole batch).  Returns one ``("ok", record_or_None)`` or
+        ``("err", exception)`` per op, in order — partial success is the
+        point: the commit pipeline resolves each outcome independently
+        (resubmit, discard, or committed).
+        """
+        if not ops:
+            return []
+        parent = parent_of(ops[0][1])
+        for _op, path, _kw in ops[1:]:
+            if parent_of(path) != parent:
+                raise ValueError("commit_batch requires a shared parent"
+                                 f" directory, got {path} outside {parent}")
+        yield from self._traverse_parents(ops[0][1])
+        if self.costs.client_op_cpu > 0:
+            yield self.env.timeout(self.costs.client_op_cpu)
+        mds = self.fs.mds_for(parent)
+        self.rpcs_sent += 1
+        per_op = self.costs.request_header_size
+        results = yield from mds.request(
+            self.node, "commit_batch", ops, self.uid, self.gid,
+            req_size=per_op + self.costs.metadata_record_size * len(ops),
+            resp_size=per_op + self.costs.metadata_record_size * len(ops))
+        return results
 
     def rmdir(self, path: str,
               recursive: bool = False) -> Generator[Event, Any, int]:

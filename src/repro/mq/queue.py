@@ -68,6 +68,25 @@ class MessageQueue:
         ev.add_callback(self._on_delivery)
         return ev
 
+    def get_batch(self, max_items: int) -> List[Any]:
+        """Take up to ``max_items`` already-buffered messages, non-blocking.
+
+        Complements :meth:`get`: a batch consumer blocks on ``get`` for the
+        first message, then drains the rest of its batch in one step with
+        no further event round trips.  Returns an empty list when nothing
+        is buffered (including on a closed queue — close keeps buffered
+        messages readable, and there is nothing to fail here).
+        """
+        if max_items <= 0:
+            return []
+        out = self._store.get_batch(max_items)
+        self.delivered += len(out)
+        return out
+
+    def peek_head(self) -> Any:
+        """The oldest undelivered message without removing it, or None."""
+        return self._store.peek()
+
     def _on_delivery(self, ev: Event) -> None:
         if ev in self._pending_gets:
             self._pending_gets.remove(ev)
@@ -126,7 +145,20 @@ class QueueGroup:
         return len(self._queues)
 
     def broadcast(self, message: Any) -> int:
-        """Publish ``message`` to every queue; returns the fan-out count."""
+        """Publish ``message`` to every queue; returns the fan-out count.
+
+        All-or-nothing: closure is checked up front so a queue closed
+        mid-group can never absorb a *partial* broadcast.  A half-delivered
+        control message (e.g. a §III.E barrier) would leave some commit
+        processes waiting for a region-wide rendezvous that can never
+        complete; raising before anything is published keeps the group
+        consistent.
+        """
+        closed = [q.name for q in self._queues.values() if q.closed]
+        if closed:
+            raise QueueClosed(
+                f"broadcast into closed queue(s) {closed!r};"
+                " nothing was published")
         for q in self._queues.values():
             q.publish(message)
         return len(self._queues)

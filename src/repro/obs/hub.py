@@ -123,11 +123,12 @@ class MetricsHub:
 
 def _region_snapshot(region) -> Dict[str, Any]:
     commit = {"committed": 0, "discarded": 0, "resubmissions": 0,
-              "barriers_passed": 0}
+              "coalesced": 0, "barriers_passed": 0}
     for cp in region.commit_processes:
         commit["committed"] += cp.committed
         commit["discarded"] += cp.discarded
         commit["resubmissions"] += cp.resubmissions
+        commit["coalesced"] += cp.coalesced
         commit["barriers_passed"] += cp.barriers_passed
     queues = {}
     for queue in region.queues.queues():

@@ -1,0 +1,110 @@
+"""Schema guard for the ``pacon.metrics/v1`` export document.
+
+CI runs an instrumented fig. 7 smoke pass and feeds the ``--metrics-out``
+JSON through :func:`validate` — renaming a metric, dropping a top-level
+section, or bumping the schema string without updating this contract
+fails the build instead of silently breaking downstream dashboards.
+
+The required-name lists are the metrics an instrumented Pacon run is
+*guaranteed* to produce (counters and histograms are created lazily, so
+conditionally emitted series — discards, publish stalls — are not
+required, only structurally checked when present).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.obs.hub import SCHEMA
+
+__all__ = ["SCHEMA", "validate", "main",
+           "REQUIRED_TOP_LEVEL", "REQUIRED_COUNTERS",
+           "REQUIRED_HISTOGRAMS", "REQUIRED_REGION_COMMIT_FIELDS"]
+
+REQUIRED_TOP_LEVEL = ("schema", "enabled", "counters", "histograms",
+                      "meters", "series", "regions", "clients", "trace")
+
+#: Counters every instrumented Pacon workload run must have produced.
+REQUIRED_COUNTERS = ("client.ops", "commit.published", "commit.committed")
+
+#: Histograms likewise (commit.batch_size appears whenever the batched
+#: drain path runs, i.e. any config with commit_batch_size > 1 — the
+#: default).
+REQUIRED_HISTOGRAMS = ("commit.latency", "commit.batch_size")
+
+#: Per-region commit snapshot fields (``regions.*.commit``).
+REQUIRED_REGION_COMMIT_FIELDS = ("committed", "discarded", "resubmissions",
+                                 "coalesced", "barriers_passed")
+
+
+def validate(doc: Dict[str, Any]) -> List[str]:
+    """Return a list of schema-drift problems (empty means conformant)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        problems.append(f"schema is {schema!r}, expected {SCHEMA!r}")
+    for key in REQUIRED_TOP_LEVEL:
+        if key not in doc:
+            problems.append(f"missing top-level section {key!r}")
+    counters = doc.get("counters", {})
+    if isinstance(counters, dict):
+        for name in REQUIRED_COUNTERS:
+            if name not in counters:
+                problems.append(f"missing counter {name!r}")
+    else:
+        problems.append("'counters' is not an object")
+    histograms = doc.get("histograms", {})
+    if isinstance(histograms, dict):
+        for name in REQUIRED_HISTOGRAMS:
+            if name not in histograms:
+                problems.append(f"missing histogram {name!r}")
+    else:
+        problems.append("'histograms' is not an object")
+    regions = doc.get("regions", {})
+    if isinstance(regions, dict):
+        if not regions:
+            problems.append("no regions in export (hub never attached?)")
+        for rname, snapshot in regions.items():
+            commit = snapshot.get("commit") if isinstance(snapshot, dict) \
+                else None
+            if not isinstance(commit, dict):
+                problems.append(f"region {rname!r} has no commit snapshot")
+                continue
+            for field in REQUIRED_REGION_COMMIT_FIELDS:
+                if field not in commit:
+                    problems.append(
+                        f"region {rname!r} commit snapshot missing"
+                        f" {field!r}")
+    else:
+        problems.append("'regions' is not an object")
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    """``python -m repro.obs.schema FILE [FILE...]`` — exit 1 on drift."""
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.schema METRICS_JSON [...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        with open(path) as fh:
+            doc = json.load(fh)
+        problems = validate(doc)
+        if problems:
+            status = 1
+            print(f"{path}: {len(problems)} schema problem(s)")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{path}: conforms to {SCHEMA}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

@@ -75,6 +75,11 @@ class CostModel:
     # --- Pacon-specific ----------------------------------------------------
     commit_queue_push: float = 14e-6    # publish into the commit queue (ZMQ)
     commit_queue_pop: float = 1.0e-6
+    #: Fraction of ``mds_op_service`` saved by every op after the first in
+    #: a same-parent ``commit_batch`` request: the dentry lookup, parent
+    #: revalidation, and journal setup are paid once per batch, so the
+    #: follow-on mutations in the same directory ride the warm state.
+    mds_batch_lookup_discount: float = 0.30
     permission_check_batch: float = 0.3e-6  # one batch permission match
     permission_check_special_per_item: float = 0.05e-6
 

@@ -130,6 +130,23 @@ class Store:
             self._getters.append(ev)
         return ev
 
+    def peek(self) -> Any:
+        """The oldest queued item without removing it; None when empty."""
+        return self._items[0] if self._items else None
+
+    def get_batch(self, max_items: int) -> list:
+        """Take up to ``max_items`` immediately-available items.
+
+        Never blocks and never wakes getters: only items already buffered
+        are returned.  Used by batch consumers that already hold one item
+        from a blocking :meth:`get` and want to drain cheaply.
+        """
+        out: list = []
+        while self._items and len(out) < max_items:
+            out.append(self._items.popleft())
+            self.total_gets += 1
+        return out
+
     def peek_all(self) -> list:
         """Snapshot of queued items (inspection/testing only)."""
         return list(self._items)

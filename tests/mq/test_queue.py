@@ -111,6 +111,44 @@ class TestMessageQueue:
         assert len(q) == 1
 
 
+class TestBatchDrain:
+    def test_get_batch_drains_up_to_max(self, env):
+        q = MessageQueue(env, "q")
+        for i in range(5):
+            q.publish(i)
+        assert q.get_batch(3) == [0, 1, 2]
+        assert q.get_batch(10) == [3, 4]
+        assert q.get_batch(10) == []
+        assert q.delivered == 5
+
+    def test_get_batch_zero_or_negative(self, env):
+        q = MessageQueue(env, "q")
+        q.publish("x")
+        assert q.get_batch(0) == []
+        assert q.get_batch(-1) == []
+        assert len(q) == 1
+
+    def test_get_then_get_batch_preserves_fifo(self, env):
+        q = MessageQueue(env, "q")
+        for i in range(4):
+            q.publish(i)
+
+        def sub():
+            first = yield q.get()
+            return [first] + q.get_batch(10)
+
+        assert run_sync(env, sub()) == [0, 1, 2, 3]
+
+    def test_peek_head_is_nondestructive(self, env):
+        q = MessageQueue(env, "q")
+        assert q.peek_head() is None
+        q.publish("a")
+        q.publish("b")
+        assert q.peek_head() == "a"
+        assert q.peek_head() == "a"
+        assert len(q) == 2
+
+
 class TestQueueGroup:
     def test_route_to_node_queue(self, env):
         group = QueueGroup(env, "region")
@@ -135,6 +173,20 @@ class TestQueueGroup:
         count = group.broadcast({"type": "barrier"})
         assert count == 3
         assert all(len(q) == 1 for q in queues)
+
+    def test_broadcast_into_partially_closed_group_is_atomic(self, env):
+        """All-or-nothing: one closed queue means *no* queue gets the
+        message (a partial barrier broadcast would strand the rendezvous
+        forever)."""
+        group = QueueGroup(env, "region")
+        qa = group.add_node("a")
+        qb = group.add_node("b")
+        qc = group.add_node("c")
+        qb.close()
+        with pytest.raises(QueueClosed):
+            group.broadcast({"type": "barrier"})
+        assert len(qa) == 0 and len(qc) == 0
+        assert qa.published == 0 and qc.published == 0
 
     def test_close_all(self, env):
         group = QueueGroup(env, "region")

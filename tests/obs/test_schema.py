@@ -1,0 +1,76 @@
+"""Tests for the pacon.metrics/v1 schema guard (repro.obs.schema)."""
+
+import json
+
+from repro.obs import schema
+from tests.obs.conftest import make_observed_world
+
+
+def exported_doc():
+    world = make_observed_world()
+    for i in range(5):
+        world.run(world.client.create(f"/app/f{i}"))
+    world.quiesce()
+    world.hub.stop_samplers()
+    return world.hub.export()
+
+
+class TestValidate:
+    def test_real_export_conforms(self):
+        doc = exported_doc()
+        assert schema.validate(doc) == []
+
+    def test_round_trip_through_json_conforms(self):
+        doc = json.loads(json.dumps(exported_doc()))
+        assert schema.validate(doc) == []
+
+    def test_wrong_schema_string_flagged(self):
+        doc = exported_doc()
+        doc["schema"] = "pacon.metrics/v2"
+        problems = schema.validate(doc)
+        assert any("pacon.metrics/v1" in p for p in problems)
+
+    def test_missing_counter_flagged(self):
+        doc = exported_doc()
+        del doc["counters"]["commit.published"]
+        problems = schema.validate(doc)
+        assert any("commit.published" in p for p in problems)
+
+    def test_missing_histogram_flagged(self):
+        doc = exported_doc()
+        del doc["histograms"]["commit.batch_size"]
+        problems = schema.validate(doc)
+        assert any("commit.batch_size" in p for p in problems)
+
+    def test_missing_top_level_section_flagged(self):
+        doc = exported_doc()
+        del doc["regions"]
+        problems = schema.validate(doc)
+        assert any("regions" in p for p in problems)
+
+    def test_region_commit_snapshot_fields_required(self):
+        doc = exported_doc()
+        region_key = next(iter(doc["regions"]))
+        del doc["regions"][region_key]["commit"]["coalesced"]
+        problems = schema.validate(doc)
+        assert any("coalesced" in p for p in problems)
+
+    def test_non_dict_document_rejected(self):
+        assert schema.validate([]) != []
+
+
+class TestCli:
+    def test_main_accepts_conformant_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(exported_doc()))
+        assert schema.main([str(path)]) == 0
+
+    def test_main_rejects_drifted_file(self, tmp_path):
+        doc = exported_doc()
+        del doc["counters"]["commit.published"]
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(doc))
+        assert schema.main([str(path)]) == 1
+
+    def test_main_without_args_is_usage_error(self):
+        assert schema.main([]) == 2

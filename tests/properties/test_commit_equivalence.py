@@ -14,12 +14,14 @@ compares the final DFS namespace against a sequential oracle.
 
 from typing import Dict, List, Set, Tuple
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import PaconConfig
 from repro.core.deploy import PaconDeployment
 from repro.dfs.beegfs import BeeGFS
+from repro.obs.hub import MetricsHub
 from repro.sim.core import run_sync
 from repro.sim.network import Cluster
 
@@ -124,3 +126,48 @@ def test_independent_commit_converges_to_temporal_order(ops, node_picks,
     # Resubmission is a permitted mechanism, stalling is not.
     for cp in region.commit_processes:
         assert cp.idle
+
+
+@pytest.mark.parametrize("batch_size,coalesce",
+                         [(1, True), (4, True), (4, False),
+                          (32, True), (32, False)])
+@given(ops=op_sequences(), node_picks=st.lists(
+    st.integers(min_value=0, max_value=3), min_size=30, max_size=30))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_batched_commit_converges_to_temporal_order(batch_size, coalesce,
+                                                    ops, node_picks):
+    """§III.E holds for every commit batch size, with or without
+    create+rm coalescing — and the pipeline accounts for every published
+    op exactly once (committed, discarded, or coalesced)."""
+    cluster = Cluster(seed=23)
+    dfs = BeeGFS(cluster)
+    nodes = [cluster.add_node(f"n{i}") for i in range(4)]
+    deployment = PaconDeployment(cluster, dfs)
+    region = deployment.create_region(
+        PaconConfig(workspace=WS, parent_check=True,
+                    commit_batch_size=batch_size,
+                    commit_coalesce=coalesce), nodes)
+    hub = MetricsHub()
+    hub.attach_region(region)
+    clients = [deployment.client(region, node) for node in nodes]
+
+    for i, (op, path) in enumerate(ops):
+        client = clients[node_picks[i % len(node_picks)]]
+        if op == "mkdir":
+            run_sync(cluster.env, client.mkdir(path))
+        elif op == "create":
+            run_sync(cluster.env, client.create(path))
+        else:
+            run_sync(cluster.env, client.rm(path))
+
+    deployment.quiesce_sync(region)
+    assert dfs_namespace(dfs) == oracle_namespace(ops)
+    for cp in region.commit_processes:
+        assert cp.idle
+    counters = hub.stats.counters()
+    published = counters.get("commit.published", 0)
+    assert published == len(ops)
+    assert published == (counters.get("commit.committed", 0)
+                         + counters.get("commit.discarded", 0)
+                         + counters.get("commit.coalesced", 0))
