@@ -10,6 +10,8 @@ Installed as ``pacon-bench`` (see pyproject) or usable as
     pacon-bench all --scale ci --out report.md
     pacon-bench stats --nodes 2 --items 25 --out metrics.json
     pacon-bench trace --nodes 2 --items 5 --limit 100
+    pacon-bench trace --since 0.001 --until 0.002 --chrome trace.json
+    pacon-bench profile --nodes 2 --items 25 --top 10
 """
 
 from __future__ import annotations
@@ -56,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--metrics-out", default=None,
                         help="write a MetricsHub JSON artifact here"
                              " (drivers that support observability)")
+    figure.add_argument("--trace-out", default=None, metavar="OUT_JSON",
+                        help="write a Chrome trace-event JSON artifact"
+                             " here (drivers that support observability)")
 
     everything = sub.add_parser("all", help="regenerate every experiment")
     everything.add_argument("--scale", choices=("smoke", "ci", "paper"),
@@ -95,6 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="filter events by kind (e.g. op.end, commit)")
     trace.add_argument("--actor", default=None,
                        help="filter events by actor")
+    trace.add_argument("--since", type=float, default=0.0,
+                       help="only events at/after this simulated time (s)")
+    trace.add_argument("--until", type=float, default=float("inf"),
+                       help="only events at/before this simulated time (s)")
+    trace.add_argument("--chrome", default=None, metavar="OUT_JSON",
+                       help="additionally write a Chrome trace-event JSON"
+                            " file (open in Perfetto / chrome://tracing)")
+
+    profile = sub.add_parser(
+        "profile", help="run a traced Pacon mdtest workload and print"
+                        " latency attribution + resource profile tables")
+    _observed_workload_args(profile)
+    profile.add_argument("--top", type=int, default=10,
+                         help="how many slowest ops to list")
     return parser
 
 
@@ -143,22 +162,32 @@ def _cmd_figure(args) -> int:
 
     driver = importlib.import_module(f"repro.bench.{args.name}")
     hub = None
-    if args.metrics_out:
+    if args.metrics_out or args.trace_out:
         if "hub" not in inspect.signature(driver.run).parameters:
-            print(f"{args.name} does not support --metrics-out",
+            print(f"{args.name} does not support --metrics-out/--trace-out",
                   file=sys.stderr)
             return 2
         from repro.bench.runner import METRICS_SAMPLE_INTERVAL
         from repro.obs.hub import MetricsHub
-        hub = MetricsHub(sample_interval=METRICS_SAMPLE_INTERVAL)
+        tracer = None
+        if args.trace_out:
+            from repro.sim.trace import Tracer
+            tracer = Tracer()
+        hub = MetricsHub(tracer=tracer,
+                         sample_interval=METRICS_SAMPLE_INTERVAL)
         result = driver.run(args.scale, hub=hub)
     else:
         result = driver.run(args.scale)
     print(result.render())
-    if hub is not None:
+    if hub is not None and args.metrics_out:
         with open(args.metrics_out, "w") as fh:
             fh.write(hub.to_json(indent=2))
         print(f"metrics written to {args.metrics_out}")
+    if hub is not None and args.trace_out:
+        from repro.obs.chrome import write_chrome_trace
+        count = write_chrome_trace(args.trace_out, hub.tracer, hub)
+        print(f"chrome trace written to {args.trace_out}"
+              f" ({count} events)")
     return 0
 
 
@@ -216,12 +245,25 @@ def _cmd_stats(args) -> int:
 
 def _cmd_trace(args) -> int:
     hub = _run_observed(args, with_tracer=True)
-    filters = {}
+    filters = {"since": args.since, "until": args.until}
     if args.kind:
         filters["kind"] = args.kind
     if args.actor:
         filters["actor"] = args.actor
     _emit(hub.tracer.render(limit=args.limit, **filters), args.out)
+    if args.chrome:
+        from repro.obs.chrome import write_chrome_trace
+        count = write_chrome_trace(args.chrome, hub.tracer, hub,
+                                   since=args.since, until=args.until)
+        print(f"chrome trace written to {args.chrome} ({count} events)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import render_report
+
+    hub = _run_observed(args, with_tracer=True)
+    _emit(render_report(hub, top=args.top), args.out)
     return 0
 
 
@@ -229,7 +271,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"mdtest": _cmd_mdtest, "madbench": _cmd_madbench,
                 "figure": _cmd_figure, "all": _cmd_all,
-                "stats": _cmd_stats, "trace": _cmd_trace}
+                "stats": _cmd_stats, "trace": _cmd_trace,
+                "profile": _cmd_profile}
     return handlers[args.command](args)
 
 

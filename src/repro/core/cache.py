@@ -52,6 +52,10 @@ def new_record(inode_record: Dict[str, Any], committed: bool = False,
 class CacheShard(Service):
     """Memcached-equivalent shard as an RPC service on one region node."""
 
+    # Attribution buckets: KV service time vs. shard worker-pool wait.
+    span_queue_category = "queue_wait"
+    span_service_category = "cache"
+
     def __init__(self, cluster: Cluster, node: Node, capacity_bytes: int,
                  name: str = "cache"):
         super().__init__(cluster, node, name,

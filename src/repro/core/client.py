@@ -85,6 +85,7 @@ class PaconClient:
         self.uid = region.config.uid
         self.gid = region.config.gid
         self.client_id = region.register_client(node)
+        self.actor_name = f"client:{region.name}#{self.client_id}"
         # Redirect path: an ordinary DFS client for out-of-region requests
         # and for Pacon's own synchronous DFS calls.
         self.dfs_client = region.dfs.client(node, uid=self.uid, gid=self.gid)
@@ -121,15 +122,27 @@ class PaconClient:
     def _spanned(self, op: str, path: str,
                  inner: Generator[Event, Any, Any],
                  ) -> Generator[Event, Any, Any]:
-        """Drive ``inner`` inside an op.start/op.end span (see _traced)."""
+        """Drive ``inner`` inside an op.start/op.end span (see _traced).
+
+        When the tracer is on, a root :class:`SpanContext` is pushed onto
+        the driving DES process for the duration of the op — child stages
+        (cache RPCs, network transfers, MDS requests) find it there and
+        emit their spans as children, forming the op's causal span tree.
+        """
         tracer = self.region.tracer
         hub = self.region.hub
-        actor = f"client:{self.region.name}#{self.client_id}"
-        op_id = tracer.new_op_id() if tracer.enabled else None
+        actor = self.actor_name
+        ctx = proc = None
+        op_id = None
         t0 = self.env.now
         self.last_class = None
         if tracer.enabled:
-            tracer.emit(t0, actor, "op.start", f"{op} {path}", op_id)
+            ctx = tracer.root_context()
+            op_id = ctx.op_id
+            proc = self.env.active_process
+            tracer.push_context(proc, ctx)
+            tracer.emit(t0, actor, "op.start", f"{op} {path}", op_id,
+                        span_id=ctx.span_id)
         outcome = "ok"
         try:
             result = yield from inner
@@ -139,15 +152,33 @@ class PaconClient:
             raise
         finally:
             t1 = self.env.now
-            if tracer.enabled:
+            if ctx is not None:
+                tracer.pop_context(proc, ctx)
                 detail = f"{op} {path} [{outcome}]"
                 if self.last_class is not None:
                     cache_op, comm, commit = self.last_class
                     detail += (f" cache={cache_op} comm={comm}"
                                f" commit={commit}")
-                tracer.emit(t1, actor, "op.end", detail, op_id)
+                tracer.emit(t1, actor, "op.end", detail, op_id,
+                            span_id=ctx.span_id)
             if hub.enabled:
                 hub.observe_op(op, t1 - t0, ok=outcome == "ok")
+
+    def _stage_start(self, category: str, name: str = ""):
+        """Open a child stage span under the current op; None when off."""
+        tracer = self.region.tracer
+        if not tracer.enabled:
+            return None
+        parent = tracer.current_context(self.env.active_process)
+        if parent is None:
+            return None
+        ctx = tracer.child_context(parent)
+        tracer.span_start(self.env.now, self.actor_name, ctx, category, name)
+        return ctx
+
+    def _stage_end(self, ctx) -> None:
+        if ctx is not None:
+            self.region.tracer.span_end(self.env.now, self.actor_name, ctx)
 
     def _provisional_ino(self) -> int:
         return self.region.alloc_provisional_ino()
@@ -214,8 +245,10 @@ class PaconClient:
         capacity = self.region.config.commit_queue_capacity
         if capacity is not None and len(queue) >= capacity:
             stall_started = self.env.now
+            stall_ctx = self._stage_start("publish_stall", f"{op} {path}")
             while len(queue) >= capacity:
                 yield self.env.timeout(self.region.config.commit_retry_delay)
+            self._stage_end(stall_ctx)
             if self.region.hub.enabled:
                 self.region.hub.observe("commit.publish_stall",
                                         self.env.now - stall_started)
@@ -226,6 +259,21 @@ class PaconClient:
                         gid=self.gid, timestamp=self.env.now,
                         epoch=self.region.client_epoch,
                         client_id=self.client_id, gen_ino=gen_ino)
+        tracer = self.region.tracer
+        if tracer.enabled:
+            parent = tracer.current_context(self.env.active_process)
+            if parent is not None:
+                # Commit-queue residency span: opened at publish, closed by
+                # the commit process at commit/discard/coalesce.  Not an
+                # attribution bucket — the async commit is off the client
+                # critical path by design (that is the paper's claim) —
+                # but it shows queue+commit time in the tree/Chrome views.
+                cctx = tracer.child_context(parent)
+                tracer.span_start(self.env.now,
+                                  f"commitq:{self.region.name}", cctx,
+                                  "commit_queue", f"{op} {path}")
+                msg.op_id = cctx.op_id
+                msg.span_id = cctx.span_id
         queue.publish(msg)
         self.region.ops_submitted += 1
         if self.region.hub.enabled:
@@ -456,7 +504,9 @@ class PaconClient:
         yield from self._charge_client_cpu()
         yield from self._check_permission("readdir", path, region=target)
         epoch, done = target.trigger_barrier()
+        barrier_ctx = self._stage_start("barrier", f"epoch {epoch}")
         yield done
+        self._stage_end(barrier_ctx)
         names = yield from self.dfs_client.readdir(path)
         self._note("readdir", "none", "sync", "barrier")
         return names
@@ -481,7 +531,9 @@ class PaconClient:
         # Barrier: every operation that happened before this rmdir must be
         # on the DFS before the removal runs (§III.E dependent type).
         epoch, done = self.region.trigger_barrier()
+        barrier_ctx = self._stage_start("barrier", f"epoch {epoch}")
         yield done
+        self._stage_end(barrier_ctx)
         removed = yield from self.dfs_client.rmdir(path, recursive=True)
         self.region.note_removed_subtree(path)
         self._parent_memo = {p for p in self._parent_memo
@@ -519,7 +571,9 @@ class PaconClient:
         yield from self._check_permission("rm", src)      # parent write
         yield from self._check_permission("create", dst)  # parent write
         epoch, done = self.region.trigger_barrier()
+        barrier_ctx = self._stage_start("barrier", f"epoch {epoch}")
         yield done
+        self._stage_end(barrier_ctx)
         yield from self.dfs_client.rename(src, dst)
         # Drop stale cache state for both names; reads repopulate lazily.
         yield from self.region.cache.delete_subtree(self.node, src)

@@ -74,6 +74,12 @@ class OpMessage:
     #: generation, or a late rm commit would delete the *new* file's
     #: record (and a late create commit would mark it committed).
     gen_ino: int = -1
+    #: Span-context ids carried across the queue (observability only).
+    #: The client opens a ``commit_queue`` span at publish; the commit
+    #: process closes it at commit/discard/coalesce and parents its own
+    #: DFS/MDS spans under it.  -1 when tracing is off.
+    op_id: int = -1
+    span_id: int = -1
 
     def __post_init__(self) -> None:
         if self.op not in INDEPENDENT_OPS:
@@ -350,6 +356,8 @@ class CommitProcess:
                 if record is None or record.get("ino") != op.gen_ino \
                         or record.get("committed"):
                     continue
+                self._close_queue_span(ops[j])
+                self._close_queue_span(op)
                 alive[i] = None
                 alive[j] = None
                 del creations[(op.path, op.gen_ino)]
@@ -431,19 +439,31 @@ class CommitProcess:
 
     def _attempt_single(self, op: OpMessage,
                         mode: int) -> Generator[Event, Any, None]:
+        tracer = self.region.tracer
+        ctx = proc = None
+        if tracer.enabled and op.span_id >= 0:
+            # Adopt the op's commit_queue span so the DFS/MDS spans this
+            # attempt generates nest under it in the op's span tree.
+            ctx = tracer.adopt_context(op.op_id, op.span_id)
+            proc = self.env.active_process
+            tracer.push_context(proc, ctx)
         try:
-            if op.op == "mkdir":
-                yield from self.dfs_client.mkdir(op.path, mode=mode)
-            elif op.op == "create":
-                yield from self.dfs_client.create(op.path, mode=mode)
-            elif op.op == "rm":
-                yield from self.dfs_client.unlink(op.path)
-            else:  # pragma: no cover - OpMessage validates op names
-                raise ValueError(op.op)
-        except (FileExists, FileNotFound, NotADirectory) as exc:
-            yield from self._handle_commit_failure(op, mode, exc)
-            return
-        yield from self._commit_success(op, mode)
+            try:
+                if op.op == "mkdir":
+                    yield from self.dfs_client.mkdir(op.path, mode=mode)
+                elif op.op == "create":
+                    yield from self.dfs_client.create(op.path, mode=mode)
+                elif op.op == "rm":
+                    yield from self.dfs_client.unlink(op.path)
+                else:  # pragma: no cover - OpMessage validates op names
+                    raise ValueError(op.op)
+            except (FileExists, FileNotFound, NotADirectory) as exc:
+                yield from self._handle_commit_failure(op, mode, exc)
+                return
+            yield from self._commit_success(op, mode)
+        finally:
+            if ctx is not None:
+                tracer.pop_context(proc, ctx)
 
     def _handle_commit_failure(self, op: OpMessage, mode: int,
                                exc: Exception) -> Generator[Event, Any, None]:
@@ -481,12 +501,21 @@ class CommitProcess:
             return
         raise exc  # not a namespace-convention rejection: a real bug
 
+    def _close_queue_span(self, op: OpMessage) -> None:
+        """Close the op's commit_queue span (opened at client publish)."""
+        tracer = self.region.tracer
+        if tracer.enabled and op.span_id >= 0:
+            ctx = tracer.adopt_context(op.op_id, op.span_id)
+            tracer.span_end(self.env.now, f"commitq:{self.region.name}", ctx)
+
     def _commit_success(self, op: OpMessage,
                         mode: int) -> Generator[Event, Any, None]:
         self.committed += 1
         self.region.ops_committed += 1
+        self._close_queue_span(op)
         self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
-                                "commit", f"{op.op} {op.path}")
+                                "commit", f"{op.op} {op.path}",
+                                op_id=op.op_id if op.op_id >= 0 else None)
         hub = self.region.hub
         if hub.enabled:
             # Publish→commit latency: OpMessage.timestamp is stamped when
@@ -498,10 +527,12 @@ class CommitProcess:
 
     def _discard(self, op: OpMessage, orphan: bool = False) -> None:
         self.discarded += 1
+        self._close_queue_span(op)
         label = f"{op.op} {op.path}"
         self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
                                 "discard",
-                                f"orphan {label}" if orphan else label)
+                                f"orphan {label}" if orphan else label,
+                                op_id=op.op_id if op.op_id >= 0 else None)
         if self.region.hub.enabled:
             self.region.hub.count("commit.discarded")
 

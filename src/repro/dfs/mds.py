@@ -34,6 +34,10 @@ class MetadataServer(Service):
     hardware.
     """
 
+    # Attribution buckets: handler service time vs. MDS worker-pool wait.
+    span_queue_category = "mds_queue"
+    span_service_category = "mds_service"
+
     def __init__(self, cluster: Cluster, node: Node, namespace: Namespace,
                  name: str = "mds", workers: Optional[int] = None):
         super().__init__(cluster, node, name,

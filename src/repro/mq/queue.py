@@ -10,7 +10,8 @@ Semantics mirrored from ZeroMQ push/pull sockets as Pacon uses them:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List
 
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Store
@@ -37,6 +38,11 @@ class MessageQueue:
         #: observability export can report worst-case queueing without a
         #: sampler catching the exact instant.
         self.peak_depth = 0
+        #: Aggregate publish→delivery residency (simulated seconds) over
+        #: all delivered messages; FIFO order lets one stamp deque pair
+        #: deliveries with their publish instants.
+        self.total_wait_time = 0.0
+        self._publish_times: Deque[float] = deque()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -49,10 +55,17 @@ class MessageQueue:
         if self._closed:
             raise QueueClosed(f"publish on closed queue {self.name!r}")
         self.published += 1
+        self._publish_times.append(self.env.now)
         self._store.put(message)
         depth = len(self._store)
         if depth > self.peak_depth:
             self.peak_depth = depth
+
+    def _note_delivered(self, count: int = 1) -> None:
+        now = self.env.now
+        for _ in range(count):
+            if self._publish_times:
+                self.total_wait_time += now - self._publish_times.popleft()
 
     def get(self) -> Event:
         """Event that fires with the next message (or fails QueueClosed)."""
@@ -65,6 +78,7 @@ class MessageQueue:
             self._pending_gets.append(ev)
         else:
             self.delivered += 1
+            self._note_delivered()
         ev.add_callback(self._on_delivery)
         return ev
 
@@ -81,6 +95,7 @@ class MessageQueue:
             return []
         out = self._store.get_batch(max_items)
         self.delivered += len(out)
+        self._note_delivered(len(out))
         return out
 
     def peek_head(self) -> Any:
@@ -92,6 +107,7 @@ class MessageQueue:
             self._pending_gets.remove(ev)
             if ev.exception is None:
                 self.delivered += 1
+                self._note_delivered()
 
     def close(self) -> None:
         """Close the queue; buffered messages remain readable."""
@@ -109,6 +125,7 @@ class MessageQueue:
 
     def drain(self) -> List[Any]:
         """Remove and return all undelivered messages (failure injection)."""
+        self._publish_times.clear()
         return self._store.drain()
 
 

@@ -1,15 +1,24 @@
-"""Observability: spans, metrics aggregation, and gauge sampling.
+"""Observability: spans, metrics aggregation, sampling, and exports.
 
-The subsystem has three pieces:
+The subsystem has five pieces:
 
-* per-operation **spans** — emitted by :class:`repro.core.client.PaconClient`
-  into the region's :class:`repro.sim.trace.Tracer` (``op.start``/``op.end``
-  pairs that close even when the operation raises),
+* per-operation **span trees** — :class:`repro.core.client.PaconClient`
+  opens a root span per op and every downstream stage (cache shard,
+  network transfer, commit queue, MDS RPC) attaches a child span carrying
+  the parent's :class:`repro.sim.trace.SpanContext`, so each op
+  reassembles into a causal tree with a critical-path latency
+  attribution (see ``Tracer.span_tree`` / ``Tracer.attribution``),
 * a :class:`MetricsHub` — the region-wide aggregation point for client,
-  commit, cache, and queue statistics, exporting one stable-ordered JSON
-  document,
-* a :class:`GaugeSampler` — a DES process that records queue-depth and
-  cache gauges at a configurable simulated-time interval.
+  commit, cache, queue, and contention-resource statistics, exporting one
+  stable-ordered ``pacon.metrics/v2`` JSON document,
+* a :class:`GaugeSampler` — a DES process that records queue-depth,
+  cache, and windowed resource-utilization gauges at a configurable
+  simulated-time interval,
+* :mod:`repro.obs.chrome` — Chrome trace-event JSON export of the span
+  trees and counter series, loadable in Perfetto / ``chrome://tracing``,
+* :mod:`repro.obs.profile` — the ``pacon-bench profile`` report: latency
+  attribution per op class, top-N slowest ops, and the per-resource
+  utilization/queueing table.
 
 Everything is off by default: regions carry :data:`NULL_HUB` (and
 ``NULL_TRACER``), whose ``enabled`` flag short-circuits every hot-path
@@ -17,7 +26,7 @@ call site, so a run without observability spends zero simulated time and
 negligible wall time on it.
 """
 
-from repro.obs.hub import MetricsHub, NULL_HUB
+from repro.obs.hub import MetricsHub, NULL_HUB, attribution_rollup
 from repro.obs.sampler import GaugeSampler
 
-__all__ = ["MetricsHub", "NULL_HUB", "GaugeSampler"]
+__all__ = ["MetricsHub", "NULL_HUB", "GaugeSampler", "attribution_rollup"]

@@ -1,0 +1,164 @@
+"""Chrome trace-event JSON export for spans, instants, and gauges.
+
+Converts a :class:`~repro.sim.trace.Tracer`'s causal span trees (and,
+optionally, a :class:`~repro.obs.hub.MetricsHub`'s sampled gauge series)
+into the Trace Event Format consumed by Perfetto and ``chrome://tracing``:
+
+* every actor becomes a pid/tid pair — actors sharing a prefix group
+  (``client``, ``commit``, ``commitq``, services, ``net``) share a pid so
+  the viewer stacks related tracks together, with ``M`` metadata events
+  naming each process and thread;
+* closed spans become complete ``X`` events (ts + dur, microseconds),
+  still-open spans become ``B`` begin events so hung work is visible as
+  an unterminated slice rather than dropped;
+* point events (commit, discard, coalesce, barrier) become instant
+  ``i`` events;
+* sampled gauge series become counter ``C`` events on a dedicated
+  counters process.
+
+Everything is emitted in a deterministic order (ops by id, series by
+name), so two same-seed runs produce byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.trace import Span, Tracer
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+#: Event kinds already represented as spans or structural markers; every
+#: other tracer event kind is exported as an instant.
+_NON_INSTANT_KINDS = ("op.start", "op.end", "span.start", "span.end")
+
+#: pid reserved for counter tracks (gauge series).
+_COUNTERS_PID = 1
+
+
+def _actor_group(actor: str) -> str:
+    """Process-level grouping for an actor name.
+
+    ``client:/app#0`` → ``client``; ``commit:node0`` → ``commit``;
+    service and network actors (no colon) group under their own name.
+    """
+    return actor.split(":", 1)[0] if ":" in actor else actor
+
+
+def _assign_ids(actors: List[str]) -> Tuple[Dict[str, Tuple[int, int]],
+                                            Dict[str, int]]:
+    """Deterministic actor → (pid, tid) assignment, sorted for stability."""
+    groups: Dict[str, List[str]] = {}
+    for actor in sorted(set(actors)):
+        groups.setdefault(_actor_group(actor), []).append(actor)
+    ids: Dict[str, Tuple[int, int]] = {}
+    group_pids: Dict[str, int] = {}
+    pid = _COUNTERS_PID + 1
+    for group in sorted(groups):
+        group_pids[group] = pid
+        for tid, actor in enumerate(groups[group], start=1):
+            ids[actor] = (pid, tid)
+        pid += 1
+    return ids, group_pids
+
+
+def _span_events(root: Span, ids: Dict[str, Tuple[int, int]],
+                 out: List[Dict[str, Any]]) -> None:
+    for span in root.walk():
+        pid, tid = ids[span.actor]
+        name = (span.name or span.category) if span.category == "op" \
+            else f"{span.category}:{span.name}" if span.name \
+            else span.category
+        common = {
+            "name": name,
+            "cat": span.category,
+            "pid": pid,
+            "tid": tid,
+            "ts": span.start * 1e6,
+            "args": {"op_id": span.op_id, "span_id": span.span_id},
+        }
+        if span.end is None:
+            out.append({**common, "ph": "B"})
+        else:
+            out.append({**common, "ph": "X",
+                        "dur": (span.end - span.start) * 1e6})
+
+
+def chrome_trace(tracer: Tracer, hub: Optional[Any] = None,
+                 since: float = 0.0,
+                 until: float = float("inf")) -> Dict[str, Any]:
+    """Build the Chrome trace document (a JSON-serializable dict).
+
+    ``since``/``until`` clip by *root-span start time*: an op is included
+    iff it starts inside the window (its children ride along), and
+    instants/counters are clipped to the window directly.
+    """
+    events: List[Dict[str, Any]] = []
+    trees = tracer.span_trees()
+    instants = [ev for ev in tracer.events(since=since, until=until)
+                if ev.kind not in _NON_INSTANT_KINDS]
+    actors: List[str] = [ev.actor for ev in instants]
+    kept_roots = []
+    for op_id in sorted(trees):
+        root = trees[op_id]
+        if not (since <= root.start <= until):
+            continue
+        kept_roots.append(root)
+        actors.extend(span.actor for span in root.walk())
+    ids, group_pids = _assign_ids(actors)
+
+    # Metadata: name every process and thread (sorted by pid/tid).
+    for group, pid in sorted(group_pids.items(), key=lambda kv: kv[1]):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": group}})
+    for actor, (pid, tid) in sorted(ids.items(), key=lambda kv: kv[1]):
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": actor}})
+    if hub is not None and hub.enabled:
+        events.append({"ph": "M", "name": "process_name",
+                       "pid": _COUNTERS_PID, "tid": 0,
+                       "args": {"name": "counters"}})
+
+    for root in kept_roots:
+        _span_events(root, ids, events)
+    for ev in instants:
+        pid, tid = ids[ev.actor]
+        events.append({
+            "ph": "i",
+            "name": f"{ev.kind} {ev.detail}".strip(),
+            "cat": ev.kind,
+            "pid": pid,
+            "tid": tid,
+            "ts": ev.time * 1e6,
+            "s": "t",  # thread-scoped instant
+        })
+    if hub is not None and hub.enabled:
+        series = hub.stats.series_export()
+        for name in sorted(series):
+            points = series[name]
+            for t, v in zip(points["t"], points["v"]):
+                if not (since <= t <= until):
+                    continue
+                events.append({
+                    "ph": "C",
+                    "name": name,
+                    "pid": _COUNTERS_PID,
+                    "tid": 0,
+                    "ts": t * 1e6,
+                    "args": {"value": v},
+                })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       hub: Optional[Any] = None, since: float = 0.0,
+                       until: float = float("inf")) -> int:
+    """Write the trace to ``path``; returns the number of trace events.
+
+    ``sort_keys`` keeps the bytes identical across same-seed runs.
+    """
+    doc = chrome_trace(tracer, hub, since=since, until=until)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, sort_keys=True)
+    return len(doc["traceEvents"])

@@ -20,15 +20,15 @@ with; its ``enabled`` flag is the only thing hot paths ever read from it.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.sampler import GaugeSampler
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 
-__all__ = ["MetricsHub", "NULL_HUB"]
+__all__ = ["MetricsHub", "NULL_HUB", "attribution_rollup"]
 
-SCHEMA = "pacon.metrics/v1"
+SCHEMA = "pacon.metrics/v2"
 
 
 class MetricsHub:
@@ -47,6 +47,11 @@ class MetricsHub:
         self._regions: List[Any] = []
         self._clients: List[Any] = []
         self._samplers: List[GaugeSampler] = []
+        #: Registered contention resources, dedup'd by identity so shared
+        #: infrastructure (one DFS under many regions) is profiled once.
+        self._resources: List[Tuple[str, Any]] = []
+        self._resource_ids: set = set()
+        self._resource_names: set = set()
 
     # -- recording (hot paths guard on .enabled before calling) ------------
     def observe_op(self, op: str, latency: float, ok: bool = True) -> None:
@@ -72,17 +77,71 @@ class MetricsHub:
         self.stats.series(name).append(time, value)
 
     # -- wiring ------------------------------------------------------------
+    def register_resource(self, resource, name: str = "") -> Optional[str]:
+        """Track a :class:`~repro.sim.resources.Resource` for profiling.
+
+        Installs the wait-time observer (feeding the
+        ``resource.wait[<name>]`` histogram) and includes the resource in
+        the export's ``resources`` section.  Identity-deduplicated:
+        re-registering returns None so shared infrastructure sampled by
+        one region's sampler is not sampled again by another's.
+        """
+        if id(resource) in self._resource_ids:
+            return None
+        label = name or resource.name or f"resource{len(self._resources)}"
+        if label in self._resource_names:
+            label = f"{label}#{len(self._resources)}"
+        self._resource_ids.add(id(resource))
+        self._resource_names.add(label)
+        self._resources.append((label, resource))
+        if self.enabled:
+            resource._wait_observe = (
+                lambda waited, _n=label:
+                self.observe(f"resource.wait[{_n}]", waited))
+        return label
+
     def attach_region(self, region, start_sampler: bool = True):
         """Install this hub (and its tracer) on ``region``.
 
-        Starts a :class:`GaugeSampler` for the region when the hub has a
-        ``sample_interval`` and ``start_sampler`` is left on.
+        Installs the tracer on the region's cluster and network too (span
+        propagation into services and transfers), registers the region's
+        contention resources — node CPUs/NICs, cache-shard worker pools,
+        and the DFS's MDS/data-server pools and nodes — and starts a
+        :class:`GaugeSampler` for the region when the hub has a
+        ``sample_interval`` and ``start_sampler`` is left on.  The sampler
+        covers only the resources first registered here, so shared DFS
+        resources produce one utilization series, not one per region.
         """
         region.hub = self
         region.tracer = self.tracer
+        region.cluster.tracer = self.tracer
+        region.cluster.network.tracer = self.tracer
         self._regions.append(region)
+        fresh: List[Tuple[str, Any]] = []
+
+        def reg(resource, name: str = "") -> None:
+            if resource is None:
+                return
+            label = self.register_resource(resource, name)
+            if label is not None:
+                fresh.append((label, resource))
+
+        for node in region.nodes:
+            reg(node.cpu)
+            reg(node.nic)
+        for shard in region.shards:
+            reg(shard.workers)
+        dfs = region.dfs
+        for server in (list(getattr(dfs, "mds_servers", []) or []) +
+                       list(getattr(dfs, "data_servers", []) or [])):
+            reg(server.workers)
+            node = getattr(server, "node", None)
+            if node is not None:
+                reg(node.cpu)
+                reg(node.nic)
         if start_sampler and self.sample_interval:
-            sampler = GaugeSampler(self, region, self.sample_interval)
+            sampler = GaugeSampler(self, region, self.sample_interval,
+                                   resources=fresh)
             sampler.start()
             self._samplers.append(sampler)
         return region
@@ -113,12 +172,68 @@ class MetricsHub:
             "series": self.stats.series_export(),
             "regions": regions,
             "clients": _client_snapshot(self._clients),
+            "attribution": attribution_rollup(self.tracer),
+            "resources": self.resource_snapshot(),
             "trace": {"events": len(self.tracer),
-                      "dropped": self.tracer.dropped},
+                      "dropped": self.tracer.dropped,
+                      "open_spans": self.tracer.open_span_count()},
         }
+
+    def resource_snapshot(self) -> Dict[str, Any]:
+        """Lifetime contention figures for every registered resource."""
+        out: Dict[str, Any] = {}
+        for name, res in self._resources:
+            out[name] = {
+                "capacity": res.capacity,
+                "utilization": res.utilization(),
+                "busy_time": res.busy_time(),
+                "total_acquires": res.total_acquires,
+                "total_wait_time": res.total_wait_time,
+                "peak_queue": res.peak_queue,
+            }
+        return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.export(), sort_keys=True, indent=indent)
+
+
+def attribution_rollup(tracer) -> Dict[str, Any]:
+    """Aggregate per-op latency attributions by op class.
+
+    For each op class (mkdir, create, getattr, ...): completed-op count,
+    mean end-to-end latency, mean time per attribution bucket, and the
+    mean residual — ``mean_latency == sum(buckets) + residual`` exactly,
+    by construction, so the decomposition can never silently lose time.
+    """
+    from repro.sim.trace import ATTRIBUTION_BUCKETS
+
+    per_class: Dict[str, Dict[str, Any]] = {}
+    attributions = tracer.attributions() if tracer.enabled else {}
+    for op_id in sorted(attributions):
+        att = attributions[op_id]
+        agg = per_class.setdefault(att["op"] or "?", {
+            "count": 0,
+            "total_latency": 0.0,
+            "buckets": {name: 0.0 for name in ATTRIBUTION_BUCKETS},
+            "residual": 0.0,
+        })
+        agg["count"] += 1
+        agg["total_latency"] += att["duration"]
+        for name, value in att["buckets"].items():
+            agg["buckets"][name] += value
+        agg["residual"] += att["residual"]
+    ops: Dict[str, Any] = {}
+    for op_class, agg in per_class.items():
+        n = agg["count"]
+        ops[op_class] = {
+            "count": n,
+            "mean_latency": agg["total_latency"] / n,
+            "buckets": {name: total / n
+                        for name, total in agg["buckets"].items()},
+            "residual": agg["residual"] / n,
+        }
+    return {"ops": ops, "total_ops": len(attributions),
+            "buckets": list(ATTRIBUTION_BUCKETS)}
 
 
 def _region_snapshot(region) -> Dict[str, Any]:
@@ -135,7 +250,8 @@ def _region_snapshot(region) -> Dict[str, Any]:
         queues[queue.name] = {"depth": len(queue),
                               "peak_depth": queue.peak_depth,
                               "published": queue.published,
-                              "delivered": queue.delivered}
+                              "delivered": queue.delivered,
+                              "wait_time": queue.total_wait_time}
     hits, misses = region.cache.hit_miss_counts()
     return {
         "workspace": region.workspace,

@@ -6,7 +6,11 @@ records point-in-time gauges for one region into the hub's registry:
 * ``queue.depth[<queue>]`` — per-node commit-queue backlog,
 * ``queue.backlog[<region>]`` — region-wide backlog total,
 * ``cache.used_bytes[<region>]`` — bytes held by the distributed cache,
-* ``cache.hit_rate[<region>]`` — cumulative cache hit rate.
+* ``cache.hit_rate[<region>]`` — cumulative cache hit rate,
+* ``resource.util[<name>]`` — *windowed* time-weighted utilization of
+  each resource handed to the sampler (node CPUs/NICs, worker pools):
+  busy slot-seconds accumulated since the previous sample divided by
+  window × capacity, so bursts show up instead of being averaged away.
 
 The sampler only *reads* state and never yields anything but its own
 timeout, so it cannot perturb the simulated timing of the system under
@@ -17,7 +21,7 @@ drainable.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.sim.core import Event, Interrupt
 
@@ -27,7 +31,8 @@ __all__ = ["GaugeSampler"]
 class GaugeSampler:
     """DES process recording one region's gauges each simulated interval."""
 
-    def __init__(self, hub, region, interval: float):
+    def __init__(self, hub, region, interval: float,
+                 resources: Optional[List[Tuple[str, Any]]] = None):
         if interval <= 0:
             raise ValueError(f"sample interval must be > 0, got {interval}")
         self.hub = hub
@@ -35,6 +40,11 @@ class GaugeSampler:
         self.interval = interval
         self.env = region.env
         self.samples = 0
+        #: ``(name, Resource)`` pairs whose windowed utilization this
+        #: sampler records (the hub hands each sampler only the resources
+        #: it registered first, so shared ones are sampled exactly once).
+        self.resources = list(resources or [])
+        self._last_busy: Dict[str, Tuple[float, float]] = {}
         self._process = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -74,4 +84,13 @@ class GaugeSampler:
         record(f"cache.used_bytes[{region.name}]", t,
                region.cache.used_bytes())
         record(f"cache.hit_rate[{region.name}]", t, region.cache.hit_rate())
+        for name, resource in self.resources:
+            busy = resource.busy_time()
+            prev_busy, prev_t = self._last_busy.get(
+                name, (0.0, resource.created_at))
+            window = t - prev_t
+            util = ((busy - prev_busy) / (window * resource.capacity)
+                    if window > 0 else 0.0)
+            record(f"resource.util[{name}]", t, util)
+            self._last_busy[name] = (busy, t)
         self.samples += 1

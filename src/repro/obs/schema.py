@@ -1,4 +1,4 @@
-"""Schema guard for the ``pacon.metrics/v1`` export document.
+"""Schema guard for the ``pacon.metrics/v2`` export document.
 
 CI runs an instrumented fig. 7 smoke pass and feeds the ``--metrics-out``
 JSON through :func:`validate` — renaming a metric, dropping a top-level
@@ -21,10 +21,18 @@ from repro.obs.hub import SCHEMA
 
 __all__ = ["SCHEMA", "validate", "main",
            "REQUIRED_TOP_LEVEL", "REQUIRED_COUNTERS",
-           "REQUIRED_HISTOGRAMS", "REQUIRED_REGION_COMMIT_FIELDS"]
+           "REQUIRED_HISTOGRAMS", "REQUIRED_REGION_COMMIT_FIELDS",
+           "REQUIRED_ATTRIBUTION_FIELDS"]
 
+#: v2 = v1 plus the additive ``attribution`` and ``resources`` sections
+#: (latency decomposition and the resource profiler).
 REQUIRED_TOP_LEVEL = ("schema", "enabled", "counters", "histograms",
-                      "meters", "series", "regions", "clients", "trace")
+                      "meters", "series", "regions", "clients",
+                      "attribution", "resources", "trace")
+
+#: Fields of the ``attribution`` section (`attribution.ops.*` entries
+#: additionally carry count/mean_latency/buckets/residual, checked below).
+REQUIRED_ATTRIBUTION_FIELDS = ("ops", "total_ops", "buckets")
 
 #: Counters every instrumented Pacon workload run must have produced.
 REQUIRED_COUNTERS = ("client.ops", "commit.published", "commit.committed")
@@ -64,6 +72,25 @@ def validate(doc: Dict[str, Any]) -> List[str]:
                 problems.append(f"missing histogram {name!r}")
     else:
         problems.append("'histograms' is not an object")
+    attribution = doc.get("attribution")
+    if isinstance(attribution, dict):
+        for field in REQUIRED_ATTRIBUTION_FIELDS:
+            if field not in attribution:
+                problems.append(f"attribution missing field {field!r}")
+        for op_class, entry in (attribution.get("ops") or {}).items():
+            if not isinstance(entry, dict):
+                problems.append(f"attribution.ops[{op_class!r}] is not"
+                                " an object")
+                continue
+            for field in ("count", "mean_latency", "buckets", "residual"):
+                if field not in entry:
+                    problems.append(f"attribution.ops[{op_class!r}]"
+                                    f" missing {field!r}")
+    elif "attribution" in doc:
+        problems.append("'attribution' is not an object")
+    resources = doc.get("resources")
+    if resources is not None and not isinstance(resources, dict):
+        problems.append("'resources' is not an object")
     regions = doc.get("regions", {})
     if isinstance(regions, dict):
         if not regions:

@@ -19,6 +19,7 @@ from repro.sim.costs import CostModel
 from repro.sim.resources import Resource
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsRegistry
+from repro.sim.trace import NULL_TRACER
 
 __all__ = ["Node", "NetworkParams", "Network", "Service", "Cluster"]
 
@@ -85,6 +86,9 @@ class Network:
         self.params = params
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Swapped in by MetricsHub.attach_region; transfers emit `network`
+        # child spans when the driving process carries a span context.
+        self.tracer = NULL_TRACER
 
     def transfer(self, src: Node, dst: Node,
                  nbytes: int) -> Generator[Event, Any, None]:
@@ -95,6 +99,22 @@ class Network:
             raise NodeDownError(f"destination node {dst.name} is down")
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        tracer = self.tracer
+        ctx = None
+        if tracer.enabled:
+            parent = tracer.current_context(self.env.active_process)
+            if parent is not None:
+                ctx = tracer.child_context(parent)
+                tracer.span_start(self.env.now, "net", ctx, "network",
+                                  f"{src.name}->{dst.name}")
+        try:
+            yield from self._transfer_body(src, dst, nbytes)
+        finally:
+            if ctx is not None:
+                tracer.span_end(self.env.now, "net", ctx)
+
+    def _transfer_body(self, src: Node, dst: Node,
+                       nbytes: int) -> Generator[Event, Any, None]:
         p = self.params
         if src is dst:
             # Loopback still burns stack/CPU time and contends with real
@@ -122,7 +142,17 @@ class Service:
     pool, runs the handler, and charges the response hop.  Exceptions from
     handlers are delivered to the caller after the response hop (errors
     travel on the wire like any reply).
+
+    When the driving process carries a :class:`~repro.sim.trace.SpanContext`
+    the worker-pool wait and the handler execution each emit a child span,
+    tagged with the class's attribution categories below (subclasses that
+    sit on a client critical path override these with real buckets).
     """
+
+    #: Span category for time spent waiting on the worker pool.
+    span_queue_category = "svc_queue"
+    #: Span category for time spent inside the handler.
+    span_service_category = "svc_service"
 
     def __init__(self, cluster: "Cluster", node: Node, name: str,
                  workers: int = 1):
@@ -150,8 +180,22 @@ class Service:
         resp_bytes = (self.costs.request_header_size
                       if resp_size is None else resp_size)
         net = self.cluster.network
+        tracer = self.cluster.tracer
+        parent = (tracer.current_context(self.env.active_process)
+                  if tracer.enabled else None)
         yield from net.transfer(src, self.node, req_bytes)
-        yield self.workers.acquire()
+        if parent is not None:
+            qctx = tracer.child_context(parent)
+            tracer.span_start(self.env.now, self.name, qctx,
+                              self.span_queue_category, method)
+            yield self.workers.acquire()
+            tracer.span_end(self.env.now, self.name, qctx)
+            sctx = tracer.child_context(parent)
+            tracer.span_start(self.env.now, self.name, sctx,
+                              self.span_service_category, method)
+        else:
+            yield self.workers.acquire()
+            sctx = None
         error: Optional[BaseException] = None
         result = None
         try:
@@ -162,6 +206,8 @@ class Service:
             error = exc
         finally:
             self.workers.release()
+            if sctx is not None:
+                tracer.span_end(self.env.now, self.name, sctx)
         self.requests_served += 1
         self.requests_by_method[method] = (
             self.requests_by_method.get(method, 0) + 1)
@@ -173,11 +219,27 @@ class Service:
     def local(self, method: str, *args, **kwargs) -> Generator[Event, Any, Any]:
         """Run a handler without any network hop (co-located caller)."""
         handler = getattr(self, "handle_" + method)
-        yield self.workers.acquire()
+        tracer = self.cluster.tracer
+        parent = (tracer.current_context(self.env.active_process)
+                  if tracer.enabled else None)
+        if parent is not None:
+            qctx = tracer.child_context(parent)
+            tracer.span_start(self.env.now, self.name, qctx,
+                              self.span_queue_category, method)
+            yield self.workers.acquire()
+            tracer.span_end(self.env.now, self.name, qctx)
+            sctx = tracer.child_context(parent)
+            tracer.span_start(self.env.now, self.name, sctx,
+                              self.span_service_category, method)
+        else:
+            yield self.workers.acquire()
+            sctx = None
         try:
             result = yield from handler(*args, **kwargs)
         finally:
             self.workers.release()
+            if sctx is not None:
+                tracer.span_end(self.env.now, self.name, sctx)
         self.requests_served += 1
         self.requests_by_method[method] = (
             self.requests_by_method.get(method, 0) + 1)
@@ -195,6 +257,9 @@ class Cluster:
         self.rng = RngStreams(seed)
         self.stats = StatsRegistry()
         self.nodes: list[Node] = []
+        # Swapped in by MetricsHub.attach_region (shared with the network);
+        # services consult it for span-context propagation.
+        self.tracer = NULL_TRACER
 
     def add_node(self, name: str = "", cores: int = 24) -> Node:
         node_id = len(self.nodes)

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator
+from typing import Any, Callable, Deque, Generator, Optional
 
 from repro.sim.core import Environment, Event, SimulationError
 
@@ -28,13 +28,18 @@ class Resource:
         self.env = env
         self.name = name
         self.capacity = capacity
+        self.created_at = env.now
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
         # Contention accounting (exported by StatsRegistry consumers).
         self.total_acquires = 0
         self.total_wait_time = 0.0
+        self.peak_queue = 0
         self._busy_time = 0.0
         self._last_change = env.now
+        # Optional observer called with each queued waiter's wait time;
+        # installed by MetricsHub to feed resource.wait[<name>] histograms.
+        self._wait_observe: Optional[Callable[[float], None]] = None
 
     @property
     def in_use(self) -> int:
@@ -44,10 +49,20 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiters)
 
-    def utilization(self) -> float:
-        """Mean fraction of capacity busy since construction."""
+    def busy_time(self) -> float:
+        """Total slot-seconds of busy time accumulated so far."""
         self._account()
-        elapsed = self.env.now
+        return self._busy_time
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity busy over the resource's lifetime.
+
+        Lifetime runs from construction (``created_at``) to now — a
+        resource created mid-run is not diluted by sim time that elapsed
+        before it existed.
+        """
+        self._account()
+        elapsed = self.env.now - self.created_at
         if elapsed <= 0:
             return 0.0
         return self._busy_time / (elapsed * self.capacity)
@@ -70,10 +85,15 @@ class Resource:
             ev.add_callback(
                 lambda e, t0=setattr_time: self._note_wait(t0))
             self._waiters.append(ev)
+            if len(self._waiters) > self.peak_queue:
+                self.peak_queue = len(self._waiters)
         return ev
 
     def _note_wait(self, requested_at: float) -> None:
-        self.total_wait_time += self.env.now - requested_at
+        waited = self.env.now - requested_at
+        self.total_wait_time += waited
+        if self._wait_observe is not None:
+            self._wait_observe(waited)
 
     def release(self) -> None:
         if self._in_use <= 0:

@@ -1,0 +1,73 @@
+"""GaugeSampler lifecycle: clean shutdown and deterministic series."""
+
+from tests.obs.conftest import make_observed_world
+
+
+def _workload(client, tag):
+    yield from client.mkdir(f"/app/{tag}")
+    for j in range(3):
+        path = f"/app/{tag}/f{j}"
+        yield from client.create(path)
+        yield from client.getattr(path)
+
+
+def _drive(world):
+    for i, client in enumerate(world.clients):
+        world.run(_workload(client, f"d{i}"), label=f"w{i}")
+    return world
+
+
+def _series_lengths(hub):
+    return {name: len(points["t"])
+            for name, points in hub.stats.series_export().items()}
+
+
+def _advance(world, dt):
+    def waiter():
+        yield world.env.timeout(dt)
+    world.run(waiter(), label="advance")
+
+
+class TestShutdown:
+    def test_series_stop_growing_after_queues_close(self):
+        world = _drive(make_observed_world())
+        world.quiesce()
+        world.region.close()  # closes the queues; the sampler loop exits
+        _advance(world, 2 * world.hub.sample_interval)  # loop's last check
+        lengths = _series_lengths(world.hub)
+        assert lengths, "sampler recorded nothing"
+        _advance(world, 50 * world.hub.sample_interval)
+        assert _series_lengths(world.hub) == lengths
+
+    def test_series_stop_growing_after_stop_samplers(self):
+        world = _drive(make_observed_world())
+        # Queues still open: stop() alone must halt sampling.
+        world.hub.stop_samplers()
+        _advance(world, 2 * world.hub.sample_interval)  # loop takes a step
+        lengths = _series_lengths(world.hub)
+        _advance(world, 50 * world.hub.sample_interval)
+        assert _series_lengths(world.hub) == lengths
+        world.quiesce()
+
+    def test_resource_util_series_recorded_and_bounded(self):
+        world = _drive(make_observed_world())
+        world.quiesce()
+        world.hub.stop_samplers()
+        series = world.hub.stats.series_export()
+        util = {name: points for name, points in series.items()
+                if name.startswith("resource.util[")}
+        assert util, "no resource utilization series recorded"
+        assert any(max(points["v"], default=0.0) > 0.0
+                   for points in util.values())
+        for name, points in util.items():
+            for v in points["v"]:
+                assert 0.0 <= v <= 1.0 + 1e-9, (name, v)
+
+    def test_exported_series_identical_across_same_seed_runs(self):
+        exports = []
+        for _ in range(2):
+            world = _drive(make_observed_world(seed=21))
+            world.quiesce()
+            world.hub.stop_samplers()
+            exports.append(world.hub.stats.series_export())
+        assert exports[0] == exports[1]

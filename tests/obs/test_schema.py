@@ -1,4 +1,4 @@
-"""Tests for the pacon.metrics/v1 schema guard (repro.obs.schema)."""
+"""Tests for the pacon.metrics/v2 schema guard (repro.obs.schema)."""
 
 import json
 
@@ -26,9 +26,9 @@ class TestValidate:
 
     def test_wrong_schema_string_flagged(self):
         doc = exported_doc()
-        doc["schema"] = "pacon.metrics/v2"
+        doc["schema"] = "pacon.metrics/v1"
         problems = schema.validate(doc)
-        assert any("pacon.metrics/v1" in p for p in problems)
+        assert any("pacon.metrics/v2" in p for p in problems)
 
     def test_missing_counter_flagged(self):
         doc = exported_doc()

@@ -82,6 +82,38 @@ class TestResource:
         env.run()
         assert res.utilization() == pytest.approx(0.5)
 
+    def test_utilization_not_diluted_for_mid_run_resource(self, env):
+        """Regression: utilization used to divide by env.now from time
+        zero, so a resource constructed mid-run looked mostly idle even
+        while 100% busy.  It must divide by the resource's own lifetime
+        (now - created_at)."""
+        def setup():
+            yield env.timeout(90.0)
+
+        env.process(setup())
+        env.run()
+        res = Resource(env, capacity=1)
+        assert res.created_at == pytest.approx(90.0)
+
+        def worker():
+            yield from res.use(10.0)
+
+        env.process(worker())
+        env.run()
+        # Busy for its entire 10s lifetime: 1.0, not 10/100 = 0.1.
+        assert res.utilization() == pytest.approx(1.0)
+
+    def test_peak_queue_tracks_max_waiters(self, env):
+        res = Resource(env, capacity=1)
+
+        def worker():
+            yield from res.use(1.0)
+
+        for _ in range(4):
+            env.process(worker())
+        env.run()
+        assert res.peak_queue == 3
+
     def test_wait_time_accounting(self, env):
         res = Resource(env, capacity=1)
 

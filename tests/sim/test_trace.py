@@ -26,7 +26,16 @@ class TestTracer:
         t.emit(1.5, "c", "op.start", "mkdir", op_id=b)
         t.emit(2.0, "c", "op.end", op_id=a)
         spans = t.spans()
-        assert spans == {a: (1.0, 2.0, "create")}  # b never ended
+        # b never ended: reported as an open-ended entry, not dropped.
+        assert spans == {a: (1.0, 2.0, "create"), b: (1.5, None, "mkdir")}
+
+    def test_render_reports_open_spans(self):
+        t = Tracer()
+        a = t.new_op_id()
+        t.emit(1.0, "c", "op.start", "create", op_id=a)
+        assert "1 spans still open" in t.render()
+        t.emit(2.0, "c", "op.end", op_id=a)
+        assert "still open" not in t.render()
 
     def test_capacity_drops(self):
         t = Tracer(capacity=2)

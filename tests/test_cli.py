@@ -81,7 +81,7 @@ class TestObservabilityCommands:
                    "--items", "5", "--out", str(out_file)])
         assert rc == 0
         doc = json.loads(out_file.read_text())
-        assert doc["schema"] == "pacon.metrics/v1"
+        assert doc["schema"] == "pacon.metrics/v2"
         assert doc["histograms"]["client.op.mkdir.latency"]["count"] > 0
         assert doc["counters"]["commit.committed"] > 0
         assert any(name.startswith("queue.depth[")
@@ -93,7 +93,7 @@ class TestObservabilityCommands:
         assert rc == 0
         out = capsys.readouterr().out
         doc = json.loads(out)
-        assert doc["schema"] == "pacon.metrics/v1"
+        assert doc["schema"] == "pacon.metrics/v2"
         assert out.count("\n") == 1  # single line + trailing newline
 
     def test_trace_renders_spans(self, capsys):
@@ -120,3 +120,42 @@ class TestObservabilityCommands:
         assert rc == 2
         err = capsys.readouterr().err
         assert "does not support --metrics-out" in err
+
+    def test_trace_chrome_export(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        rc = main(["trace", "--nodes", "1", "--clients-per-node", "1",
+                   "--items", "2", "--limit", "5",
+                   "--chrome", str(out_file)])
+        assert rc == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
+        assert "chrome trace written" in capsys.readouterr().out
+
+    def test_trace_window_flags(self, capsys):
+        rc = main(["trace", "--nodes", "1", "--clients-per-node", "1",
+                   "--items", "2", "--limit", "500",
+                   "--since", "1.0", "--until", "2.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The workload finishes in simulated microseconds, so nothing
+        # falls inside the [1s, 2s] window.
+        assert "op.start" not in out
+
+    def test_profile_renders_tables(self, capsys):
+        rc = main(["profile", "--nodes", "1", "--clients-per-node", "2",
+                   "--items", "3", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Latency attribution by op class" in out
+        assert "Top 3 slowest operations" in out
+        assert "Resource utilization and queueing" in out
+        assert "residual" in out
+
+    def test_figure_trace_out(self, tmp_path, capsys):
+        out_file = tmp_path / "fig07.trace.json"
+        rc = main(["figure", "fig07", "--scale", "smoke",
+                   "--trace-out", str(out_file)])
+        assert rc == 0
+        doc = json.loads(out_file.read_text())
+        assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
