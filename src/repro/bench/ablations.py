@@ -23,12 +23,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Generator, List
 
 from repro.baselines.locofs import LocoFS
 from repro.baselines.shardfs import ShardFS
 from repro.bench.report import ExperimentResult
-from repro.bench.systems import make_testbed
+from repro.bench.systems import DEFAULT_SEED, make_testbed
 from repro.sim.network import Cluster
 from repro.workloads.mdtest import build_tree, run_random_stat
 
@@ -80,41 +81,45 @@ def _create_with_barriers(bed, items: int, barrier_every: int) -> float:
     return total / elapsed if elapsed > 0 else 0.0
 
 
-def run_commit_ablation(scale: str = "ci") -> ExperimentResult:
+def run_commit_ablation(scale: str = "ci",
+                        seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="ablA",
         title="Commit discipline: barrier frequency vs create throughput",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     base = None
     for barrier_every in params["barrier_every"]:
         bed = make_testbed("pacon", n_apps=1,
                            nodes_per_app=params["nodes"],
-                           clients_per_node=params["cpn"])
+                           clients_per_node=params["cpn"], seed=seed)
         ops = _create_with_barriers(bed, params["items"], barrier_every)
         if base is None:
             base = ops
         out.add(barrier_every_k_creates=barrier_every or "never",
                 create_ops_per_sec=round(ops),
                 fraction_of_async=round(ops / base, 3))
+    out.derive("min_fraction_of_async",
+               min(row["fraction_of_async"] for row in out.rows))
     out.note("barriers per op collapse throughput toward synchronous"
              " commit — why Table I reserves them for rmdir/readdir")
     return out
 
 
 # --------------------------------------------------------------- Ablation B
-def run_permission_ablation(scale: str = "ci") -> ExperimentResult:
+def run_permission_ablation(scale: str = "ci",
+                            seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="ablB",
         title="Batch permissions vs per-level checks in the cache",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     for mode in ("batch", "hierarchical"):
         base = None
         for depth in params["depths"]:
             bed = make_testbed("pacon", n_apps=1,
                                nodes_per_app=params["nodes"],
-                               clients_per_node=params["cpn"])
+                               clients_per_node=params["cpn"], seed=seed)
             for client in bed.clients:
                 client.hierarchical_permissions = (mode == "hierarchical")
             leaves = build_tree(bed.env, bed.clients[0], "/app",
@@ -128,6 +133,8 @@ def run_permission_ablation(scale: str = "ci") -> ExperimentResult:
     deep = params["depths"][-1]
     batch_loss = out.value("loss_pct", mode="batch", depth=deep)
     hier_loss = out.value("loss_pct", mode="hierarchical", depth=deep)
+    out.derive("batch_loss_pct_deepest", batch_loss)
+    out.derive("hierarchical_loss_pct_deepest", hier_loss)
     out.note(f"at depth {deep}: batch check loses {batch_loss}% vs"
              f" {hier_loss}% for per-level checks — batch permission"
              " management removes the depth dependence (Motivation 2)")
@@ -135,21 +142,24 @@ def run_permission_ablation(scale: str = "ci") -> ExperimentResult:
 
 
 # --------------------------------------------------------------- Ablation C
-def run_related_ablation(scale: str = "ci") -> ExperimentResult:
+def run_related_ablation(scale: str = "ci",
+                         seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="ablC",
         title="ShardFS/LocoFS trade-offs (related work §II.C)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
 
+    # The two worlds get distinct-but-derived streams so the one --seed
+    # still states everything the run depended on.
     def shard_world(n_servers):
-        cluster = Cluster(seed=0xAB1)
+        cluster = Cluster(seed=seed)
         servers = [cluster.add_node(f"s{i}") for i in range(n_servers)]
         client = cluster.add_node("client")
         return cluster, ShardFS(cluster, servers), client
 
     def loco_world(n_fms):
-        cluster = Cluster(seed=0xAB2)
+        cluster = Cluster(seed=seed + 1)
         dms = cluster.add_node("dms")
         fms = [cluster.add_node(f"f{i}") for i in range(n_fms)]
         client = cluster.add_node("client")
@@ -210,6 +220,14 @@ def run_related_ablation(scale: str = "ci") -> ExperimentResult:
         ops = 200 / (cluster.env.now - t0)
         out.add(system="locofs", metric=f"mkdir@{n}fms", value=round(ops))
 
+    out.derive("shardfs_mkdir_replication_slowdown", round(
+        out.value("value", system="shardfs", metric="mkdir@1servers")
+        / out.value("value", system="shardfs",
+                    metric=f"mkdir@{params['servers']}servers"), 3))
+    out.derive("locofs_fms_mkdir_gain", round(
+        out.value("value", system="locofs",
+                  metric=f"mkdir@{params['servers']}fms")
+        / out.value("value", system="locofs", metric="mkdir@1fms"), 3))
     out.note("ShardFS: flat stats but mkdir pays per-server replication;"
              " LocoFS: flat stats but directory ops bottleneck on the"
              " single DMS regardless of FMS count — the trade-offs Pacon"
@@ -218,7 +236,8 @@ def run_related_ablation(scale: str = "ci") -> ExperimentResult:
 
 
 # --------------------------------------------------------------- Ablation D
-def run_mds_scaling_ablation(scale: str = "ci") -> ExperimentResult:
+def run_mds_scaling_ablation(scale: str = "ci",
+                             seed: int = DEFAULT_SEED) -> ExperimentResult:
     """§II.B: scaling the MDS cluster vs scaling with the clients.
 
     BeeGFS creation throughput grows (sub-linearly: one shared parent
@@ -230,7 +249,7 @@ def run_mds_scaling_ablation(scale: str = "ci") -> ExperimentResult:
     out = ExperimentResult(
         experiment="ablD",
         title="MDS-cluster scaling vs client-side absorption",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
 
     # mkdir builds per-rank directories (owned by the /app MDS); the
     # measured create phase then spreads across MDSes by directory hash —
@@ -261,16 +280,18 @@ def run_mds_scaling_ablation(scale: str = "ci") -> ExperimentResult:
 
     for n_mds in params["mds_counts"]:
         bed = make_testbed("beegfs", n_apps=1, nodes_per_app=params["nodes"],
-                           clients_per_node=params["cpn"], n_mds=n_mds)
+                           clients_per_node=params["cpn"], n_mds=n_mds,
+                           seed=seed)
         ops = create_in_own_dirs(bed)
         out.add(system=f"beegfs-{n_mds}mds", mds=n_mds,
                 create_ops_per_sec=round(ops))
     bed = make_testbed("pacon", n_apps=1, nodes_per_app=params["nodes"],
-                       clients_per_node=params["cpn"])
+                       clients_per_node=params["cpn"], seed=seed)
     ops = create_in_own_dirs(bed)
     out.add(system="pacon-0-extra-mds", mds=0, create_ops_per_sec=round(ops))
     best_beegfs = max(r["create_ops_per_sec"] for r in out.rows
                       if r["mds"] > 0)
+    out.derive("pacon_vs_best_beegfs", round(ops / best_beegfs, 3))
     out.note(f"Pacon with zero added hardware beats BeeGFS with"
              f" {params['mds_counts'][-1]} MDSes by"
              f" {ops / best_beegfs:.1f}x — static MDS scaling cannot keep"
@@ -279,7 +300,9 @@ def run_mds_scaling_ablation(scale: str = "ci") -> ExperimentResult:
 
 
 # --------------------------------------------------------------- Ablation E
-def run_bulk_insertion_ablation(scale: str = "ci") -> ExperimentResult:
+def run_bulk_insertion_ablation(scale: str = "ci",
+                                seed: int = DEFAULT_SEED
+                                ) -> ExperimentResult:
     """The BatchFS/DeltaFS approximation: IndexFS + bulk insertion.
 
     N-N creation (each rank its own directory — the private-namespace
@@ -292,7 +315,7 @@ def run_bulk_insertion_ablation(scale: str = "ci") -> ExperimentResult:
     out = ExperimentResult(
         experiment="ablE",
         title="IndexFS bulk insertion (BatchFS/DeltaFS proxy) vs Pacon",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     from repro.sim.core import run_sync
     from repro.sim.resources import Barrier
 
@@ -325,18 +348,20 @@ def run_bulk_insertion_ablation(scale: str = "ci") -> ExperimentResult:
     for label, bulk in (("indexfs", False), ("indexfs+bulk", True)):
         bed = make_testbed("indexfs", n_apps=1,
                            nodes_per_app=params["nodes"],
-                           clients_per_node=params["cpn"])
+                           clients_per_node=params["cpn"], seed=seed)
         ops = nn_create(bed, bed.clients, params["items"], bulk)
         out.add(system=label, create_ops_per_sec=round(ops))
 
     bed = make_testbed("pacon", n_apps=1, nodes_per_app=params["nodes"],
-                       clients_per_node=params["cpn"])
+                       clients_per_node=params["cpn"], seed=seed)
     ops = nn_create(bed, bed.clients, params["items"], bulk=False)
     out.add(system="pacon", create_ops_per_sec=round(ops))
 
     plain = out.value("create_ops_per_sec", system="indexfs")
     bulked = out.value("create_ops_per_sec", system="indexfs+bulk")
     pacon = out.value("create_ops_per_sec", system="pacon")
+    out.derive("bulk_insertion_gain", round(bulked / plain, 3))
+    out.derive("pacon_vs_bulk", round(pacon / bulked, 3))
     out.note(f"bulk insertion buys IndexFS {bulked / plain:.1f}x on N-N"
              f" creates (Pacon/bulk = {pacon / bulked:.2f}x) — the"
              " BatchFS/DeltaFS trade: raw batch throughput in exchange for"
@@ -345,10 +370,18 @@ def run_bulk_insertion_ablation(scale: str = "ci") -> ExperimentResult:
     return out
 
 
-def run_all(scale: str = "ci") -> List[ExperimentResult]:
-    return [run_commit_ablation(scale), run_permission_ablation(scale),
-            run_related_ablation(scale), run_mds_scaling_ablation(scale),
-            run_bulk_insertion_ablation(scale)]
+def run_all(scale: str = "ci",
+            seed: int = DEFAULT_SEED) -> List[ExperimentResult]:
+    results = []
+    for ablation in (run_commit_ablation, run_permission_ablation,
+                     run_related_ablation, run_mds_scaling_ablation,
+                     run_bulk_insertion_ablation):
+        t0 = time.perf_counter()
+        result = ablation(scale, seed=seed)
+        result.host.setdefault("wall_clock_s",
+                               round(time.perf_counter() - t0, 3))
+        results.append(result)
+    return results
 
 
 def main() -> None:  # pragma: no cover - CLI

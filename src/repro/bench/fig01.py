@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bench.report import ExperimentResult
-from repro.bench.systems import make_testbed
+from repro.bench.systems import DEFAULT_SEED, make_testbed
 from repro.workloads.mdtest import MdtestConfig, run_mdtest
 
 __all__ = ["run", "main", "SCALES"]
@@ -26,25 +26,26 @@ SCALES: Dict[str, Dict] = {
 
 
 def _creation_throughput(system: str, nodes: int, cpn: int,
-                         items: int) -> float:
+                         items: int, seed: int = DEFAULT_SEED) -> float:
     bed = make_testbed(system, n_apps=1, nodes_per_app=nodes,
-                       clients_per_node=cpn)
+                       clients_per_node=cpn, seed=seed)
     config = MdtestConfig(workdir="/app", items_per_client=items,
                           phases=("create",))
     result = run_mdtest(bed.env, bed.clients, config)
     return result.ops("create")
 
 
-def run(scale: str = "ci") -> ExperimentResult:
+def run(scale: str = "ci", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="fig01",
         title="Client scalability (creation throughput multiple vs 1 client)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     base: Dict[str, float] = {}
     for system in ("beegfs", "indexfs"):
         for nodes, cpn in params["points"]:
-            ops = _creation_throughput(system, nodes, cpn, params["items"])
+            ops = _creation_throughput(system, nodes, cpn, params["items"],
+                                       seed=seed)
             clients = nodes * cpn
             if clients == 1:
                 base[system] = ops
@@ -54,6 +55,7 @@ def run(scale: str = "ci") -> ExperimentResult:
     max_clients = max(n * c for n, c in params["points"])
     for system in ("beegfs", "indexfs"):
         peak = max(r["multiple"] for r in out.where(system=system))
+        out.derive(f"{system}_peak_multiple", peak)
         out.note(f"{system}: peak speedup {peak}x at up to {max_clients}"
                  f" clients — far from linear (paper Fig. 1 shape)")
     return out

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bench.report import ExperimentResult
-from repro.bench.systems import make_testbed
+from repro.bench.systems import DEFAULT_SEED, make_testbed
 from repro.workloads.mdtest import build_tree, run_random_stat
 
 __all__ = ["run", "main", "SCALES", "stat_throughput_at_depth"]
@@ -28,34 +28,37 @@ SCALES: Dict[str, Dict] = {
 
 def stat_throughput_at_depth(system: str, depth: int, fanout: int,
                              nodes: int, cpn: int, stats_per_client: int,
-                             lease_ttl: float = 200e-3) -> float:
+                             lease_ttl: float = 200e-3,
+                             seed: int = DEFAULT_SEED) -> float:
     """Build the tree, then measure random leaf-dir stat throughput."""
     bed = make_testbed(system, n_apps=1, nodes_per_app=nodes,
-                       clients_per_node=cpn, lease_ttl=lease_ttl)
+                       clients_per_node=cpn, lease_ttl=lease_ttl, seed=seed)
     builder = bed.clients[0]
     leaves = build_tree(bed.env, builder, "/app", fanout=fanout, depth=depth)
     bed.quiesce()
     return run_random_stat(bed.env, bed.clients, leaves, stats_per_client)
 
 
-def run(scale: str = "ci") -> ExperimentResult:
+def run(scale: str = "ci", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="fig02",
         title="Path traversal cost: random stat of leaf dirs vs depth",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     base: Dict[str, float] = {}
     for system in ("beegfs", "indexfs"):
         for depth in params["depths"]:
             ops = stat_throughput_at_depth(
                 system, depth, params["fanout"], params["nodes"],
-                params["cpn"], params["stats_per_client"])
+                params["cpn"], params["stats_per_client"], seed=seed)
             base.setdefault(system, ops)
             loss = (1 - ops / base[system]) * 100
             out.add(system=system, depth=depth, ops_per_sec=round(ops),
                     loss_vs_shallowest_pct=round(loss, 1))
     for system in ("beegfs", "indexfs"):
         deepest = out.where(system=system)[-1]
+        out.derive(f"{system}_loss_pct_deepest",
+                   deepest["loss_vs_shallowest_pct"])
         out.note(f"{system}: {deepest['loss_vs_shallowest_pct']}% loss at"
                  f" depth {deepest['depth']} (paper: >47% at depth 6)")
     return out

@@ -12,7 +12,7 @@ import hashlib
 from typing import Dict, Optional, Sequence
 
 from repro.bench.report import ExperimentResult
-from repro.bench.systems import SYSTEMS, make_testbed
+from repro.bench.systems import DEFAULT_SEED, SYSTEMS, make_testbed
 from repro.workloads.mdtest import MdtestConfig, run_mdtest
 
 __all__ = ["run", "main", "SCALES", "single_app_point",
@@ -29,24 +29,28 @@ PHASES = ("mkdir", "create", "stat")
 
 def single_app_point(system: str, nodes: int, cpn: int,
                      items: int, hub: Optional[object] = None,
-                     ) -> Dict[str, float]:
+                     seed: int = DEFAULT_SEED) -> Dict[str, float]:
     bed = make_testbed(system, n_apps=1, nodes_per_app=nodes,
-                       clients_per_node=cpn, hub=hub)
+                       clients_per_node=cpn, hub=hub, seed=seed)
     config = MdtestConfig(workdir="/app", items_per_client=items,
                           phases=PHASES)
     result = run_mdtest(bed.env, bed.clients, config)
-    if hub is not None and bed.pacon is not None:
+    ops = {phase: result.ops(phase) for phase in PHASES}
+    if bed.pacon is not None:
         # Drain the async commit pipeline so commit-latency histograms and
-        # resubmission counters cover every queued op.  Reported phase
-        # throughput is captured above, before the drain, and the drain
-        # only runs when observability is requested — the un-instrumented
-        # path is simulated-time identical to a run without a hub.
+        # resubmission counters cover every queued op, and so the
+        # committed-op count below is total.  Reported phase throughput
+        # is captured above, before the drain, and the drain happens in
+        # every run — instrumented and not — so the two stay
+        # simulated-time identical.
         bed.quiesce()
-    return {phase: result.ops(phase) for phase in PHASES}
+        ops["committed_ops"] = float(bed.app.region.ops_committed)
+    return ops
 
 
 def batching_comparison(scale: str = "smoke",
                         batch_sizes: Sequence[int] = (1, 16),
+                        seed: int = DEFAULT_SEED,
                         ) -> Dict[int, Dict[str, object]]:
     """Pacon committed-op throughput as a function of commit batch size.
 
@@ -63,7 +67,7 @@ def batching_comparison(scale: str = "smoke",
     for batch_size in batch_sizes:
         bed = make_testbed("pacon", n_apps=1, nodes_per_app=nodes,
                            clients_per_node=params["cpn"],
-                           commit_batch_size=batch_size)
+                           commit_batch_size=batch_size, seed=seed)
         config = MdtestConfig(workdir="/app",
                               items_per_client=params["items"],
                               phases=PHASES)
@@ -96,27 +100,33 @@ def _namespace_digest(dfs) -> str:
     return digest.hexdigest()
 
 
-def run(scale: str = "ci", hub: Optional[object] = None) -> ExperimentResult:
+def run(scale: str = "ci", hub: Optional[object] = None,
+        seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="fig07",
         title="Single-application throughput (shared dir, depth 1)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
+    committed_total = 0.0
     for system in SYSTEMS:
         for nodes in params["node_counts"]:
             ops = single_app_point(system, nodes, params["cpn"],
-                                   params["items"], hub=hub)
+                                   params["items"], hub=hub, seed=seed)
+            committed_total += ops.get("committed_ops", 0.0)
             out.add(system=system, nodes=nodes,
                     clients=nodes * params["cpn"],
                     mkdir=round(ops["mkdir"]),
                     create=round(ops["create"]),
                     stat=round(ops["stat"]))
+    out.derive("pacon_committed_ops", committed_total)
     # Ratio notes at the largest point (the paper's headline comparisons).
     biggest = params["node_counts"][-1]
     by = {s: out.where(system=s, nodes=biggest)[0] for s in SYSTEMS}
     for phase in ("create", "stat"):
         p, b, i = (by["pacon"][phase], by["beegfs"][phase],
                    by["indexfs"][phase])
+        out.derive(f"{phase}_speedup_vs_beegfs", round(p / b, 3))
+        out.derive(f"{phase}_speedup_vs_indexfs", round(p / i, 3))
         out.note(f"{phase} at {biggest} nodes: Pacon/BeeGFS ="
                  f" {p / b:.1f}x (paper: >{76.4 if phase == 'create' else 6.5}x),"
                  f" Pacon/IndexFS = {p / i:.1f}x"

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bench.report import ExperimentResult
-from repro.bench.systems import SYSTEMS, make_testbed
+from repro.bench.systems import DEFAULT_SEED, SYSTEMS, make_testbed
 from repro.workloads.mdtest import MdtestConfig, spawn_mdtest
 
 __all__ = ["run", "main", "SCALES", "multi_app_point"]
@@ -30,11 +30,11 @@ PHASES = ("mkdir", "create", "stat")
 
 
 def multi_app_point(system: str, n_apps: int, total_nodes: int, cpn: int,
-                    items: int) -> Dict[str, float]:
+                    items: int, seed: int = DEFAULT_SEED) -> Dict[str, float]:
     """Run n_apps concurrent mdtests; return overall ops/s per phase."""
     nodes_per_app = max(1, total_nodes // n_apps)
     bed = make_testbed(system, n_apps=n_apps, nodes_per_app=nodes_per_app,
-                       clients_per_node=cpn)
+                       clients_per_node=cpn, seed=seed)
     handles = []
     for app in bed.apps:
         config = MdtestConfig(workdir=app.workdir, items_per_client=items,
@@ -53,16 +53,17 @@ def multi_app_point(system: str, n_apps: int, total_nodes: int, cpn: int,
     return overall
 
 
-def run(scale: str = "ci") -> ExperimentResult:
+def run(scale: str = "ci", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="fig08",
         title="Multi-application overall throughput (disjoint workdirs)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     for system in SYSTEMS:
         for n_apps in params["app_counts"]:
             ops = multi_app_point(system, n_apps, params["total_nodes"],
-                                  params["cpn"], params["items"])
+                                  params["cpn"], params["items"],
+                                  seed=seed)
             out.add(system=system, apps=n_apps,
                     mkdir=round(ops["mkdir"]),
                     create=round(ops["create"]),
@@ -75,6 +76,8 @@ def run(scale: str = "ci") -> ExperimentResult:
         out.value("create", system="pacon", apps=a)
         / out.value("create", system="indexfs", apps=a)
         for a in params["app_counts"])
+    out.derive("min_create_speedup_vs_beegfs", round(worst_vs_beegfs, 3))
+    out.derive("min_create_speedup_vs_indexfs", round(worst_vs_indexfs, 3))
     out.note(f"create: min Pacon/BeeGFS = {worst_vs_beegfs:.1f}x"
              " (paper: >10x), min Pacon/IndexFS ="
              f" {worst_vs_indexfs:.2f}x (paper: >1.07x — the gap narrows"

@@ -12,6 +12,7 @@ from typing import Dict
 
 from repro.bench.fig02 import stat_throughput_at_depth
 from repro.bench.report import ExperimentResult
+from repro.bench.systems import DEFAULT_SEED
 
 __all__ = ["run", "main", "SCALES"]
 
@@ -25,18 +26,18 @@ SCALES: Dict[str, Dict] = {
 }
 
 
-def run(scale: str = "ci") -> ExperimentResult:
+def run(scale: str = "ci", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="fig09",
         title="Path traversal with batch permissions (stat vs depth)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     base: Dict[str, float] = {}
     for system in ("beegfs", "indexfs", "pacon"):
         for depth in params["depths"]:
             ops = stat_throughput_at_depth(
                 system, depth, params["fanout"], params["nodes"],
-                params["cpn"], params["stats_per_client"])
+                params["cpn"], params["stats_per_client"], seed=seed)
             base.setdefault(system, ops)
             out.add(system=system, depth=depth, ops_per_sec=round(ops),
                     loss_vs_shallowest_pct=round(
@@ -45,6 +46,8 @@ def run(scale: str = "ci") -> ExperimentResult:
         deepest = out.where(system=system)[-1]
         target = {"beegfs": "~63%", "indexfs": "~47%",
                   "pacon": "slight"}[system]
+        out.derive(f"{system}_loss_pct_deepest",
+                   deepest["loss_vs_shallowest_pct"])
         out.note(f"{system}: {deepest['loss_vs_shallowest_pct']}% loss at"
                  f" depth {deepest['depth']} (paper: {target})")
     return out

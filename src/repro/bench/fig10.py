@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bench.report import ExperimentResult
-from repro.bench.systems import make_testbed
+from repro.bench.systems import DEFAULT_SEED, make_testbed
 from repro.core.cache import CacheShard, DistributedCache
 from repro.sim.network import Cluster
 from repro.workloads.mdtest import build_tree
@@ -28,10 +28,10 @@ SCALES: Dict[str, Dict] = {
 
 
 def mkdir_throughput(system: str, fanout: int, depth: int,
-                     nodes: int) -> float:
+                     nodes: int, seed: int = DEFAULT_SEED) -> float:
     """Single client builds the tree; returns mkdirs/second."""
     bed = make_testbed(system, n_apps=1, nodes_per_app=nodes,
-                       clients_per_node=1)
+                       clients_per_node=1, seed=seed)
     client = bed.clients[0]
     t0 = bed.env.now
     leaves = build_tree(bed.env, client, "/app", fanout=fanout, depth=depth)
@@ -41,9 +41,10 @@ def mkdir_throughput(system: str, fanout: int, depth: int,
     return total / elapsed if elapsed > 0 else 0.0
 
 
-def memaslap_throughput(operations: int, nodes: int) -> float:
+def memaslap_throughput(operations: int, nodes: int,
+                        seed: int = DEFAULT_SEED) -> float:
     """Raw distributed-cache insertions from one client (memaslap -c 1)."""
-    cluster = Cluster(seed=0xF16)
+    cluster = Cluster(seed=seed)
     cache_nodes = [cluster.add_node(f"cache{i}") for i in range(nodes)]
     shards = [CacheShard(cluster, node, capacity_bytes=1 << 28,
                          name=f"raw{i}")
@@ -54,26 +55,27 @@ def memaslap_throughput(operations: int, nodes: int) -> float:
                         MemaslapConfig(operations=operations))
 
 
-def run(scale: str = "ci") -> ExperimentResult:
+def run(scale: str = "ci", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="fig10",
         title="Pacon overhead vs raw Memcached (single client mkdir)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     for depth in params["depths"]:
         total_items = sum(params["fanout"] ** level
                           for level in range(1, depth + 1))
-        raw = memaslap_throughput(total_items, params["nodes"])
+        raw = memaslap_throughput(total_items, params["nodes"], seed=seed)
         row: Dict[str, float] = {"depth": depth,
                                  "memcached": round(raw)}
         for system in ("pacon", "beegfs", "indexfs"):
             ops = mkdir_throughput(system, params["fanout"], depth,
-                                   params["nodes"])
+                                   params["nodes"], seed=seed)
             row[system] = round(ops)
         row["pacon_vs_memcached_pct"] = round(
             row["pacon"] / row["memcached"] * 100, 1)
         out.add(**row)
     worst = min(r["pacon_vs_memcached_pct"] for r in out.rows)
+    out.derive("worst_pacon_vs_memcached_pct", worst)
     out.note(f"Pacon reaches >= {worst}% of raw Memcached throughput"
              " (paper: more than 64.6%)")
     out.note("BeeGFS/IndexFS are far below the in-memory KV because their"

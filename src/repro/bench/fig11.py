@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bench.report import ExperimentResult, fmt_ops
-from repro.bench.systems import SYSTEMS, make_testbed
+from repro.bench.systems import DEFAULT_SEED, SYSTEMS, make_testbed
 from repro.workloads.mdtest import MdtestConfig, run_mdtest
 
 __all__ = ["run", "main", "SCALES", "creation_throughput"]
@@ -26,24 +26,25 @@ SCALES: Dict[str, Dict] = {
 
 
 def creation_throughput(system: str, nodes: int, cpn: int,
-                        items: int) -> float:
+                        items: int, seed: int = DEFAULT_SEED) -> float:
     bed = make_testbed(system, n_apps=1, nodes_per_app=nodes,
-                       clients_per_node=cpn)
+                       clients_per_node=cpn, seed=seed)
     config = MdtestConfig(workdir="/app", items_per_client=items,
                           phases=("create",))
     return run_mdtest(bed.env, bed.clients, config).ops("create")
 
 
-def run(scale: str = "ci") -> ExperimentResult:
+def run(scale: str = "ci", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="fig11",
         title="Creation scalability (normalized to 1 client)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     base: Dict[str, float] = {}
     for system in SYSTEMS:
         for nodes, cpn in params["points"]:
-            ops = creation_throughput(system, nodes, cpn, params["items"])
+            ops = creation_throughput(system, nodes, cpn, params["items"],
+                                      seed=seed)
             clients = nodes * cpn
             if clients == 1:
                 base[system] = ops
@@ -52,6 +53,11 @@ def run(scale: str = "ci") -> ExperimentResult:
                     normalized=round(ops / base[system], 2))
     max_clients = max(n * c for n, c in params["points"])
     big = {s: out.where(system=s, clients=max_clients)[0] for s in SYSTEMS}
+    out.derive("scaling_vs_beegfs", round(
+        big["pacon"]["normalized"] / big["beegfs"]["normalized"], 3))
+    out.derive("scaling_vs_indexfs", round(
+        big["pacon"]["normalized"] / big["indexfs"]["normalized"], 3))
+    out.derive("pacon_peak_ops_per_sec", big["pacon"]["ops_per_sec"])
     out.note(f"at {max_clients} clients: Pacon scaling is"
              f" {big['pacon']['normalized'] / big['beegfs']['normalized']:.1f}x"
              f" BeeGFS's and"

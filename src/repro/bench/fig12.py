@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bench.report import ExperimentResult
-from repro.bench.systems import make_testbed
+from repro.bench.systems import DEFAULT_SEED, make_testbed
 from repro.workloads.madbench import MadbenchConfig, run_madbench
 
 __all__ = ["run", "main", "SCALES", "madbench_point"]
@@ -28,10 +28,11 @@ SCALES: Dict[str, Dict] = {
 
 
 def madbench_point(system: str, nodes: int, procs_per_node: int,
-                   file_size: int, iterations: int):
+                   file_size: int, iterations: int,
+                   seed: int = DEFAULT_SEED):
     bed = make_testbed(system, n_apps=1, nodes_per_app=nodes,
                        clients_per_node=procs_per_node,
-                       workdir_base="/madbench")
+                       workdir_base="/madbench", seed=seed)
     config = MadbenchConfig(workdir="/madbench", file_size=file_size,
                             iterations=iterations)
     result = run_madbench(bed.env, bed.clients, config)
@@ -39,17 +40,17 @@ def madbench_point(system: str, nodes: int, procs_per_node: int,
     return result
 
 
-def run(scale: str = "ci") -> ExperimentResult:
+def run(scale: str = "ci", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="fig12",
         title="MADbench2 breakdown (normalized to BeeGFS total runtime)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     results = {}
     for system in ("beegfs", "pacon"):
         results[system] = madbench_point(
             system, params["nodes"], params["procs_per_node"],
-            params["file_size"], params["iterations"])
+            params["file_size"], params["iterations"], seed=seed)
     norm = results["beegfs"].total_time
     for system in ("beegfs", "pacon"):
         r = results[system]
@@ -61,10 +62,12 @@ def run(scale: str = "ci") -> ExperimentResult:
                 read_pct=round(shares["read"] * 100, 1),
                 other_pct=round(shares["other"] * 100, 1))
     ratio = results["pacon"].total_time / norm
+    out.derive("total_runtime_ratio", round(ratio, 4))
     out.note(f"Pacon/BeeGFS total runtime = {ratio:.3f}"
              " (paper: almost the same — data-intensive scenario)")
     init_b = results["beegfs"].init_time
     init_p = results["pacon"].init_time
+    out.derive("init_time_ratio", round(init_p / init_b, 4))
     out.note(f"init (creation) time: Pacon/BeeGFS = {init_p / init_b:.2f}"
              " (paper: Pacon slightly smaller)")
     return out

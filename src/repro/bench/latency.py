@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.bench.report import ExperimentResult
-from repro.bench.systems import SYSTEMS, make_testbed
+from repro.bench.systems import DEFAULT_SEED, SYSTEMS, make_testbed
 from repro.sim.resources import Barrier
 from repro.sim.stats import Histogram
 
@@ -26,9 +26,10 @@ SCALES: Dict[str, Dict] = {
 
 
 def measure_create_latency(system: str, nodes: int, cpn: int,
-                           items: int) -> Histogram:
+                           items: int, seed: int = DEFAULT_SEED
+                           ) -> Histogram:
     bed = make_testbed(system, n_apps=1, nodes_per_app=nodes,
-                       clients_per_node=cpn)
+                       clients_per_node=cpn, seed=seed)
     env = bed.env
     hist = Histogram(f"{system}.create")
     sync = Barrier(env, parties=len(bed.clients), name="lat")
@@ -48,16 +49,17 @@ def measure_create_latency(system: str, nodes: int, cpn: int,
     return hist
 
 
-def run(scale: str = "ci") -> ExperimentResult:
+def run(scale: str = "ci", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = SCALES[scale]
     out = ExperimentResult(
         experiment="latency",
         title="Create latency distribution under load (extension)",
-        scale=scale)
+        scale=scale, seed=seed, params=dict(params))
     stats = {}
     for system in SYSTEMS:
         hist = measure_create_latency(system, params["nodes"],
-                                      params["cpn"], params["items"])
+                                      params["cpn"], params["items"],
+                                      seed=seed)
         summary = hist.summary()
         stats[system] = summary
         out.add(system=system,
@@ -66,6 +68,8 @@ def run(scale: str = "ci") -> ExperimentResult:
                 p99_us=round(summary["p99"] * 1e6, 1),
                 max_us=round(summary["max"] * 1e6, 1))
     ratio = stats["beegfs"]["p50"] / stats["pacon"]["p50"]
+    out.derive("p50_speedup_vs_beegfs", round(ratio, 3))
+    out.derive("pacon_p99_us", round(stats["pacon"]["p99"] * 1e6, 1))
     out.note(f"median create latency: Pacon is {ratio:.0f}x lower than"
              " BeeGFS — asynchronous commit hides the MDS entirely"
              " (paper §III.A Benefit 3)")

@@ -22,12 +22,46 @@ class ExperimentResult:
     #: Optional MetricsHub export captured while the driver ran; written
     #: as a JSON sidecar next to the markdown report.
     metrics: Optional[Dict[str, Any]] = None
+    #: RNG seed the driver's clusters were built with (snapshots must
+    #: state their seed honestly).
+    seed: Optional[int] = None
+    #: Scenario parameters (the driver's SCALES entry for this run).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Named headline claims (speedup factors, crossovers, committed-op
+    #: counts) — the metrics `pacon-bench compare`/`history` track first.
+    derived: Dict[str, Any] = field(default_factory=dict)
+    #: Harness-side facts (wall-clock seconds, ...).  Everything under
+    #: ``host`` is excluded from the snapshot's deterministic view.
+    host: Dict[str, Any] = field(default_factory=dict)
 
     def add(self, **row: Any) -> None:
         self.rows.append(row)
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def derive(self, name: str, value: Any) -> None:
+        """Record one named headline claim (a simulated metric)."""
+        self.derived[name] = value
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """JSON-normalized record for ``BENCH_*.json`` snapshots.
+
+        Round-trips through :mod:`json` so tuples in ``params`` become
+        lists — the in-memory record equals the re-loaded one, which is
+        what the byte-identity guarantee is stated over.
+        """
+        record = {
+            "title": self.title,
+            "scale": self.scale,
+            "seed": self.seed,
+            "params": self.params,
+            "rows": self.rows,
+            "derived": self.derived,
+            "notes": self.notes,
+            "host": self.host,
+        }
+        return json.loads(json.dumps(record))
 
     def column(self, name: str) -> List[Any]:
         return [row.get(name) for row in self.rows]

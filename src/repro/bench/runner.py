@@ -1,21 +1,28 @@
-"""Run every experiment and write the consolidated report.
+"""Run every experiment and write the consolidated report + snapshot.
 
-``python -m repro.bench.runner [--paper-scale] [--out report.md]
-[--metrics-out metrics.json]``
+``python -m repro.bench.runner [--scale ci|smoke|paper] [--seed N]
+[--out report.md] [--metrics-out metrics.json] [--bench-out snap.json]
+[--label LABEL] [--no-snapshot]``
+
+Besides the human-readable markdown report, the runner collects every
+driver's structured record into a versioned, schema-validated
+``BENCH_<git-sha-or-label>.json`` snapshot (see ``repro.bench.snapshot``)
+that ``pacon-bench compare``/``history`` and the CI perf gate consume.
 """
 
 from __future__ import annotations
 
+import argparse
 import inspect
-import sys
 import time
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.bench import ablations, fig01, fig02, fig07, fig08, fig09, \
     fig10, fig11, fig12, latency, sensitivity, table1
 from repro.bench.report import ExperimentResult, write_markdown
+from repro.bench.systems import DEFAULT_SEED
 
-__all__ = ["run_all", "main"]
+__all__ = ["run_all", "write_snapshot_file", "main", "DEFAULT_SEED"]
 
 DRIVERS = [fig01, fig02, table1, fig07, fig08, fig09, fig10, fig11, fig12,
            latency, sensitivity]
@@ -25,36 +32,44 @@ DRIVERS = [fig01, fig02, table1, fig07, fig08, fig09, fig10, fig11, fig12,
 METRICS_SAMPLE_INTERVAL = 200e-6
 
 
-def _accepts_hub(run_fn) -> bool:
-    return "hub" in inspect.signature(run_fn).parameters
+def _accepts(run_fn, name: str) -> bool:
+    return name in inspect.signature(run_fn).parameters
 
 
 def run_all(scale: str = "ci", verbose: bool = True,
             include_ablations: bool = True,
-            metrics_path: Optional[str] = None) -> List[ExperimentResult]:
+            metrics_path: Optional[str] = None,
+            seed: int = DEFAULT_SEED) -> List[ExperimentResult]:
     hub = None
     if metrics_path is not None:
         from repro.obs.hub import MetricsHub
         hub = MetricsHub(sample_interval=METRICS_SAMPLE_INTERVAL)
     results: List[ExperimentResult] = []
-    for driver in DRIVERS:
+
+    def finish(result: ExperimentResult, t0: float) -> None:
         # perf_counter, not time.time: harness phase timings must be
         # monotonic so they survive wall-clock adjustments (NTP steps).
-        t0 = time.perf_counter()
-        if hub is not None and _accepts_hub(driver.run):
-            result = driver.run(scale, hub=hub)
-        else:
-            result = driver.run(scale)
+        result.host.setdefault("wall_clock_s",
+                               round(time.perf_counter() - t0, 3))
+        if result.seed is None:
+            result.seed = seed
         results.append(result)
         if verbose:
             print(result.render())
-            print(f"  [{time.perf_counter() - t0:.1f}s]\n")
+            print(f"  [{result.host['wall_clock_s']:.1f}s]\n")
+
+    for driver in DRIVERS:
+        t0 = time.perf_counter()
+        kwargs = {}
+        if hub is not None and _accepts(driver.run, "hub"):
+            kwargs["hub"] = hub
+        if _accepts(driver.run, "seed"):
+            kwargs["seed"] = seed
+        finish(driver.run(scale, **kwargs), t0)
     if include_ablations:
-        for result in ablations.run_all(scale):
-            results.append(result)
-            if verbose:
-                print(result.render())
-                print()
+        for result in ablations.run_all(scale, seed=seed):
+            # ablations.run_all stamps per-result wall clocks itself.
+            finish(result, time.perf_counter())
     if hub is not None and metrics_path is not None:
         with open(metrics_path, "w") as fh:
             fh.write(hub.to_json(indent=2))
@@ -63,19 +78,66 @@ def run_all(scale: str = "ci", verbose: bool = True,
     return results
 
 
-def main() -> None:  # pragma: no cover - CLI
-    scale = "paper" if "--paper-scale" in sys.argv else "ci"
-    out_path = None
-    if "--out" in sys.argv:
-        out_path = sys.argv[sys.argv.index("--out") + 1]
-    metrics_path = None
-    if "--metrics-out" in sys.argv:
-        metrics_path = sys.argv[sys.argv.index("--metrics-out") + 1]
-    results = run_all(scale, metrics_path=metrics_path)
-    if out_path:
-        write_markdown(results, out_path)
-        print(f"report written to {out_path}")
+def write_snapshot_file(results: List[ExperimentResult], *, scale: str,
+                        seed: int, path: Optional[str] = None,
+                        label: Optional[str] = None,
+                        wall_clock_s: Optional[float] = None) -> str:
+    """Build, validate, and write one ``BENCH_*.json`` snapshot.
+
+    With no explicit ``path``, writes ``BENCH_<label>.json`` in the
+    current directory, defaulting the label to the short git SHA.
+    """
+    from repro.bench import snapshot as snap
+
+    label = label or snap.default_label()
+    path = path or snap.snapshot_path(label)
+    doc = snap.build_snapshot(results, label=label, scale=scale, seed=seed,
+                              wall_clock_s=wall_clock_s)
+    return snap.write_snapshot(doc, path)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner",
+        description="Regenerate every experiment; write the markdown"
+                    " report and the BENCH_*.json snapshot.")
+    parser.add_argument("--scale", choices=("smoke", "ci", "paper"),
+                        default="ci")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="legacy alias for --scale paper")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="RNG seed for every driver's clusters"
+                             " (default 0xBEE)")
+    parser.add_argument("--out", default=None,
+                        help="write a markdown report here")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write a MetricsHub JSON artifact here")
+    parser.add_argument("--bench-out", default=None, metavar="SNAPSHOT",
+                        help="snapshot path (default: BENCH_<label>.json)")
+    parser.add_argument("--label", default=None,
+                        help="snapshot label (default: short git SHA)")
+    parser.add_argument("--no-snapshot", action="store_true",
+                        help="skip writing the BENCH_*.json snapshot")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    scale = "paper" if args.paper_scale else args.scale
+    t0 = time.perf_counter()
+    results = run_all(scale, metrics_path=args.metrics_out, seed=args.seed)
+    wall_clock = time.perf_counter() - t0
+    if args.out:
+        write_markdown(results, args.out)
+        print(f"report written to {args.out}")
+    if not args.no_snapshot:
+        path = write_snapshot_file(results, scale=scale, seed=args.seed,
+                                   path=args.bench_out, label=args.label,
+                                   wall_clock_s=wall_clock)
+        print(f"bench snapshot written to {path}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    import sys
+    sys.exit(main())

@@ -7,7 +7,9 @@ Installed as ``pacon-bench`` (see pyproject) or usable as
         --items 100
     pacon-bench madbench --system beegfs --file-size 4194304
     pacon-bench figure fig07 --scale paper --metrics-out fig07.metrics.json
-    pacon-bench all --scale ci --out report.md
+    pacon-bench all --scale ci --out report.md --bench-label nightly
+    pacon-bench compare BENCH_a.json BENCH_b.json --json
+    pacon-bench history --metric 'fig07.*'
     pacon-bench stats --nodes 2 --items 25 --out metrics.json
     pacon-bench trace --nodes 2 --items 5 --limit 100
     pacon-bench trace --since 0.001 --until 0.002 --chrome trace.json
@@ -21,6 +23,8 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+DEFAULT_SEED = 0xBEE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
                                  "fig12", "latency", "sensitivity"))
     figure.add_argument("--scale", choices=("smoke", "ci", "paper"),
                         default="ci")
+    figure.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="simulation seed (drivers that accept one)")
     figure.add_argument("--metrics-out", default=None,
                         help="write a MetricsHub JSON artifact here"
                              " (drivers that support observability)")
@@ -65,10 +71,48 @@ def build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="regenerate every experiment")
     everything.add_argument("--scale", choices=("smoke", "ci", "paper"),
                             default="ci")
+    everything.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                            help="simulation seed for every driver")
     everything.add_argument("--out", default=None,
                             help="write a markdown report here")
     everything.add_argument("--metrics-out", default=None,
                             help="write a MetricsHub JSON artifact here")
+    everything.add_argument("--bench-out", default=None, metavar="SNAPSHOT",
+                            help="write a pacon.bench/v1 snapshot here")
+    everything.add_argument("--bench-label", default=None,
+                            help="write a snapshot named BENCH_<label>.json"
+                                 " in the current directory")
+
+    compare = sub.add_parser(
+        "compare", help="compare two benchmark snapshots and flag"
+                        " regressions")
+    compare.add_argument("baseline", help="baseline BENCH_*.json")
+    compare.add_argument("candidate", help="candidate BENCH_*.json")
+    compare.add_argument("--tolerance", action="append", default=[],
+                         metavar="METRIC=REL",
+                         help="per-metric relative tolerance for simulated"
+                              " metrics (glob ok; e.g."
+                              " 'fig07.derived.*=0.05'); default exact")
+    compare.add_argument("--host-threshold", type=float, default=None,
+                         help="relative threshold for host wall-clock/RSS"
+                              " metrics (default 0.5)")
+    compare.add_argument("--ignore-host", action="store_true",
+                         help="skip host metrics entirely (use when the"
+                              " two snapshots came from different"
+                              " machines)")
+    compare.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable output instead of a table")
+
+    history = sub.add_parser(
+        "history", help="fold BENCH_*.json snapshots into per-metric"
+                        " trajectories")
+    history.add_argument("snapshots", nargs="*",
+                         help="snapshot files (default: BENCH_*.json in"
+                              " the current directory)")
+    history.add_argument("--metric", default=None,
+                         help="only metrics matching this name/glob")
+    history.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable output instead of a table")
 
     def _observed_workload_args(p) -> None:
         p.add_argument("--nodes", type=int, default=2)
@@ -161,9 +205,13 @@ def _cmd_figure(args) -> int:
     import inspect
 
     driver = importlib.import_module(f"repro.bench.{args.name}")
+    accepted = inspect.signature(driver.run).parameters
+    kwargs = {}
+    if "seed" in accepted:
+        kwargs["seed"] = args.seed
     hub = None
     if args.metrics_out or args.trace_out:
-        if "hub" not in inspect.signature(driver.run).parameters:
+        if "hub" not in accepted:
             print(f"{args.name} does not support --metrics-out/--trace-out",
                   file=sys.stderr)
             return 2
@@ -175,9 +223,8 @@ def _cmd_figure(args) -> int:
             tracer = Tracer()
         hub = MetricsHub(tracer=tracer,
                          sample_interval=METRICS_SAMPLE_INTERVAL)
-        result = driver.run(args.scale, hub=hub)
-    else:
-        result = driver.run(args.scale)
+        kwargs["hub"] = hub
+    result = driver.run(args.scale, **kwargs)
     print(result.render())
     if hub is not None and args.metrics_out:
         with open(args.metrics_out, "w") as fh:
@@ -192,13 +239,86 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_all(args) -> int:
-    from repro.bench.report import write_markdown
-    from repro.bench.runner import run_all
+    import time
 
-    results = run_all(args.scale, metrics_path=args.metrics_out)
+    from repro.bench.report import write_markdown
+    from repro.bench.runner import run_all, write_snapshot_file
+
+    started = time.perf_counter()
+    results = run_all(args.scale, metrics_path=args.metrics_out,
+                      seed=args.seed)
+    wall = time.perf_counter() - started
     if args.out:
         write_markdown(results, args.out)
         print(f"report written to {args.out}")
+    if args.bench_out or args.bench_label:
+        path = write_snapshot_file(results, scale=args.scale,
+                                   seed=args.seed, path=args.bench_out,
+                                   label=args.bench_label,
+                                   wall_clock_s=wall)
+        print(f"benchmark snapshot written to {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    import json
+
+    from repro.bench.baseline import (DEFAULT_HOST_THRESHOLD,
+                                      compare_files, render_comparison)
+    from repro.bench.snapshot import SnapshotError
+
+    tolerances = {}
+    for spec in args.tolerance:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            print(f"bad --tolerance {spec!r}: expected METRIC=REL",
+                  file=sys.stderr)
+            return 2
+        try:
+            tolerances[name] = float(value)
+        except ValueError:
+            print(f"bad --tolerance {spec!r}: {value!r} is not a number",
+                  file=sys.stderr)
+            return 2
+    host_threshold = (DEFAULT_HOST_THRESHOLD if args.host_threshold is None
+                      else args.host_threshold)
+    try:
+        comparison = compare_files(args.baseline, args.candidate,
+                                   tolerances=tolerances,
+                                   host_threshold=host_threshold,
+                                   ignore_host=args.ignore_host)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(comparison.to_doc(), indent=2, sort_keys=True))
+    else:
+        print(render_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_history(args) -> int:
+    import json
+
+    from repro.bench.baseline import (history_rows, load_history,
+                                      render_history)
+    from repro.bench.snapshot import SnapshotError, collect_snapshot_paths
+
+    paths = args.snapshots or collect_snapshot_paths(".")
+    if not paths:
+        print("no BENCH_*.json snapshots found (pass paths or run"
+              " `python -m repro.bench.runner` first)", file=sys.stderr)
+        return 2
+    try:
+        docs = load_history(paths)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        rows = history_rows(docs, metric_glob=args.metric)
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_history(docs, metric_glob=args.metric))
     return 0
 
 
@@ -271,6 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"mdtest": _cmd_mdtest, "madbench": _cmd_madbench,
                 "figure": _cmd_figure, "all": _cmd_all,
+                "compare": _cmd_compare, "history": _cmd_history,
                 "stats": _cmd_stats, "trace": _cmd_trace,
                 "profile": _cmd_profile}
     return handlers[args.command](args)

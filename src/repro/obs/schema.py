@@ -1,9 +1,16 @@
-"""Schema guard for the ``pacon.metrics/v2`` export document.
+"""Schema guards for the JSON documents this repo publishes.
 
-CI runs an instrumented fig. 7 smoke pass and feeds the ``--metrics-out``
-JSON through :func:`validate` — renaming a metric, dropping a top-level
-section, or bumping the schema string without updating this contract
-fails the build instead of silently breaking downstream dashboards.
+Two contracts live here:
+
+* ``pacon.metrics/v2`` (:func:`validate`) — the MetricsHub export.  CI
+  runs an instrumented fig. 7 smoke pass and feeds the ``--metrics-out``
+  JSON through it — renaming a metric, dropping a top-level section, or
+  bumping the schema string without updating this contract fails the
+  build instead of silently breaking downstream dashboards.
+* ``pacon.bench/v1`` (:func:`validate_bench`) — the benchmark snapshot
+  (``BENCH_<label>.json``) written by ``repro.bench.runner``.  The CI
+  perf gate and ``pacon-bench compare``/``history`` refuse documents
+  that drift from it.
 
 The required-name lists are the metrics an instrumented Pacon run is
 *guaranteed* to produce (counters and histograms are created lazily, so
@@ -19,10 +26,25 @@ from typing import Any, Dict, List
 
 from repro.obs.hub import SCHEMA
 
-__all__ = ["SCHEMA", "validate", "main",
+__all__ = ["SCHEMA", "BENCH_SCHEMA", "validate", "validate_bench",
+           "validate_any", "main",
            "REQUIRED_TOP_LEVEL", "REQUIRED_COUNTERS",
            "REQUIRED_HISTOGRAMS", "REQUIRED_REGION_COMMIT_FIELDS",
-           "REQUIRED_ATTRIBUTION_FIELDS"]
+           "REQUIRED_ATTRIBUTION_FIELDS",
+           "REQUIRED_BENCH_TOP_LEVEL", "REQUIRED_BENCH_EXPERIMENT_FIELDS"]
+
+#: Version string of the benchmark snapshot document.
+BENCH_SCHEMA = "pacon.bench/v1"
+
+#: Top-level sections of a ``pacon.bench/v1`` snapshot.
+REQUIRED_BENCH_TOP_LEVEL = ("schema", "label", "scale", "seed",
+                            "experiments", "host")
+
+#: Fields every per-experiment record must carry.  ``rows``/``derived``
+#: are the simulated (deterministic) payload; ``host`` holds harness
+#: wall-clock facts and is excluded from byte-identity guarantees.
+REQUIRED_BENCH_EXPERIMENT_FIELDS = ("title", "scale", "seed", "params",
+                                    "rows", "derived", "notes", "host")
 
 #: v2 = v1 plus the additive ``attribution`` and ``resources`` sections
 #: (latency decomposition and the resource profiler).
@@ -111,25 +133,100 @@ def validate(doc: Dict[str, Any]) -> List[str]:
     return problems
 
 
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_bench(doc: Dict[str, Any]) -> List[str]:
+    """Return schema problems of a ``pacon.bench/v1`` snapshot document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        problems.append(f"schema is {schema!r}, expected {BENCH_SCHEMA!r}")
+    for key in REQUIRED_BENCH_TOP_LEVEL:
+        if key not in doc:
+            problems.append(f"missing top-level field {key!r}")
+    if "seed" in doc and not isinstance(doc.get("seed"), int):
+        problems.append("'seed' is not an integer")
+    host = doc.get("host")
+    if host is not None and not isinstance(host, dict):
+        problems.append("'host' is not an object")
+    experiments = doc.get("experiments")
+    if not isinstance(experiments, dict):
+        if "experiments" in doc:
+            problems.append("'experiments' is not an object")
+        return problems
+    if not experiments:
+        problems.append("no experiments in snapshot (runner never ran?)")
+    for name, record in experiments.items():
+        if not isinstance(record, dict):
+            problems.append(f"experiment {name!r} is not an object")
+            continue
+        for field in REQUIRED_BENCH_EXPERIMENT_FIELDS:
+            if field not in record:
+                problems.append(f"experiment {name!r} missing {field!r}")
+        rows = record.get("rows")
+        if rows is not None:
+            if not isinstance(rows, list) or any(
+                    not isinstance(row, dict) for row in rows):
+                problems.append(f"experiment {name!r} rows are not a list"
+                                " of objects")
+            elif not rows:
+                problems.append(f"experiment {name!r} has no rows")
+        derived = record.get("derived")
+        if derived is not None:
+            if not isinstance(derived, dict):
+                problems.append(f"experiment {name!r} 'derived' is not"
+                                " an object")
+            else:
+                for key, value in derived.items():
+                    if not _is_number(value):
+                        problems.append(
+                            f"experiment {name!r} derived metric {key!r}"
+                            f" is not numeric ({value!r})")
+        exp_host = record.get("host")
+        if exp_host is not None and not isinstance(exp_host, dict):
+            problems.append(f"experiment {name!r} 'host' is not an object")
+        if "seed" in record and record.get("seed") is not None \
+                and not isinstance(record.get("seed"), int):
+            problems.append(f"experiment {name!r} 'seed' is not an integer")
+    return problems
+
+
+def validate_any(doc: Any) -> List[str]:
+    """Dispatch on the document's schema family (metrics vs bench)."""
+    if isinstance(doc, dict) and \
+            str(doc.get("schema", "")).startswith("pacon.bench/"):
+        return validate_bench(doc)
+    return validate(doc)
+
+
 def main(argv: List[str] = None) -> int:
-    """``python -m repro.obs.schema FILE [FILE...]`` — exit 1 on drift."""
+    """``python -m repro.obs.schema FILE [FILE...]`` — exit 1 on drift.
+
+    Accepts both ``pacon.metrics/v2`` exports and ``pacon.bench/v1``
+    snapshots, picking the contract from each file's ``schema`` field.
+    """
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
-        print("usage: python -m repro.obs.schema METRICS_JSON [...]",
-              file=sys.stderr)
+        print("usage: python -m repro.obs.schema METRICS_OR_BENCH_JSON"
+              " [...]", file=sys.stderr)
         return 2
     status = 0
     for path in argv:
         with open(path) as fh:
             doc = json.load(fh)
-        problems = validate(doc)
+        problems = validate_any(doc)
         if problems:
             status = 1
             print(f"{path}: {len(problems)} schema problem(s)")
             for problem in problems:
                 print(f"  - {problem}")
         else:
-            print(f"{path}: conforms to {SCHEMA}")
+            schema = doc.get("schema") if isinstance(doc, dict) else SCHEMA
+            print(f"{path}: conforms to {schema}")
     return status
 
 

@@ -59,6 +59,71 @@ class TestValidate:
         assert schema.validate([]) != []
 
 
+def bench_doc():
+    """A minimal conformant pacon.bench/v1 document."""
+    return {
+        "schema": schema.BENCH_SCHEMA,
+        "label": "test",
+        "scale": "smoke",
+        "seed": 0xBEE,
+        "experiments": {
+            "figX": {
+                "title": "t", "scale": "smoke", "seed": 0xBEE,
+                "params": {"nodes": 2},
+                "rows": [{"system": "pacon", "ops": 1.0}],
+                "derived": {"speedup": 2.0}, "notes": ["n"],
+                "host": {"wall_clock_s": 0.1},
+            },
+        },
+        "host": {"wall_clock_s": 0.2, "peak_rss_bytes": 1024},
+    }
+
+
+class TestValidateBench:
+    def test_minimal_doc_conforms(self):
+        assert schema.validate_bench(bench_doc()) == []
+
+    def test_wrong_schema_string_flagged(self):
+        doc = bench_doc()
+        doc["schema"] = "pacon.bench/v0"
+        problems = schema.validate_bench(doc)
+        assert any("pacon.bench/v1" in p for p in problems)
+
+    def test_missing_top_level_field_flagged(self):
+        doc = bench_doc()
+        del doc["seed"]
+        assert any("seed" in p for p in schema.validate_bench(doc))
+
+    def test_empty_experiments_flagged(self):
+        doc = bench_doc()
+        doc["experiments"] = {}
+        assert schema.validate_bench(doc) != []
+
+    def test_missing_experiment_field_flagged(self):
+        doc = bench_doc()
+        del doc["experiments"]["figX"]["derived"]
+        problems = schema.validate_bench(doc)
+        assert any("derived" in p for p in problems)
+
+    def test_empty_rows_flagged(self):
+        doc = bench_doc()
+        doc["experiments"]["figX"]["rows"] = []
+        assert schema.validate_bench(doc) != []
+
+    def test_non_numeric_derived_flagged(self):
+        doc = bench_doc()
+        doc["experiments"]["figX"]["derived"]["speedup"] = "fast"
+        problems = schema.validate_bench(doc)
+        assert any("speedup" in p for p in problems)
+
+    def test_non_dict_document_rejected(self):
+        assert schema.validate_bench([]) != []
+
+    def test_validate_any_dispatches_on_schema(self):
+        assert schema.validate_any(bench_doc()) == []
+        assert schema.validate_any(exported_doc()) == []
+
+
 class TestCli:
     def test_main_accepts_conformant_file(self, tmp_path):
         path = tmp_path / "metrics.json"
@@ -74,3 +139,15 @@ class TestCli:
 
     def test_main_without_args_is_usage_error(self):
         assert schema.main([]) == 2
+
+    def test_main_accepts_bench_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(bench_doc()))
+        assert schema.main([str(path)]) == 0
+
+    def test_main_rejects_drifted_bench_file(self, tmp_path):
+        doc = bench_doc()
+        del doc["experiments"]["figX"]["rows"]
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(doc))
+        assert schema.main([str(path)]) == 1

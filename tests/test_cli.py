@@ -65,13 +65,129 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "table1" in out and "match" in out
 
-    def test_all_writes_report(self, tmp_path, capsys):
+    def test_all_writes_report_and_snapshot(self, tmp_path, capsys):
         out_file = tmp_path / "r.md"
-        rc = main(["all", "--scale", "smoke", "--out", str(out_file)])
+        bench_file = tmp_path / "BENCH_t.json"
+        rc = main(["all", "--scale", "smoke", "--out", str(out_file),
+                   "--bench-out", str(bench_file)])
         assert rc == 0
         content = out_file.read_text()
         assert "## fig07" in content
         assert "## sensitivity" in content
+        doc = json.loads(bench_file.read_text())
+        assert doc["schema"] == "pacon.bench/v1"
+        assert doc["seed"] == 0xBEE
+        assert "fig07" in doc["experiments"]
+        assert doc["host"]["wall_clock_s"] > 0
+
+
+def _bench_doc(label="a", **derived):
+    """A minimal valid pacon.bench/v1 document for CLI tests."""
+    derived = derived or {"speedup": 2.0}
+    return {
+        "schema": "pacon.bench/v1",
+        "label": label,
+        "scale": "smoke",
+        "seed": 0xBEE,
+        "experiments": {
+            "figX": {
+                "title": "t", "scale": "smoke", "seed": 0xBEE,
+                "params": {}, "rows": [{"system": "pacon", "ops": 100.0}],
+                "derived": dict(derived), "notes": [],
+                "host": {"wall_clock_s": 0.1},
+            },
+        },
+        "host": {"wall_clock_s": 0.1, "generated_at": label},
+    }
+
+
+class TestCompareCommand:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_identical_snapshots_exit_zero(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", _bench_doc("a"))
+        b = self._write(tmp_path, "b.json", _bench_doc("b"))
+        rc = main(["compare", a, b, "--ignore-host"])
+        assert rc == 0
+        assert "OK — no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one_and_names_metric(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", _bench_doc("a", speedup=2.0))
+        b = self._write(tmp_path, "b.json", _bench_doc("b", speedup=1.5))
+        rc = main(["compare", a, b, "--ignore-host"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "figX.derived.speedup" in out
+        assert "-25.00%" in out
+        assert "must match exactly" in out
+
+    def test_tolerance_flag(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", _bench_doc("a", speedup=2.0))
+        b = self._write(tmp_path, "b.json", _bench_doc("b", speedup=1.9))
+        rc = main(["compare", a, b, "--ignore-host",
+                   "--tolerance", "figX.derived.speedup=0.1"])
+        assert rc == 0
+
+    def test_bad_tolerance_exits_two(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", _bench_doc("a"))
+        rc = main(["compare", a, a, "--tolerance", "nonsense"])
+        assert rc == 2
+        assert "METRIC=REL" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", _bench_doc("a", speedup=2.0))
+        b = self._write(tmp_path, "b.json", _bench_doc("b", speedup=4.0))
+        rc = main(["compare", a, b, "--ignore-host", "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert any(d["metric"] == "figX.derived.speedup"
+                   for d in doc["deltas"])
+
+    def test_schema_mismatch_exits_two(self, tmp_path, capsys):
+        old = _bench_doc("old")
+        old["schema"] = "pacon.bench/v0"
+        a = self._write(tmp_path, "a.json", old)
+        b = self._write(tmp_path, "b.json", _bench_doc("b"))
+        rc = main(["compare", a, b])
+        assert rc == 2
+        assert "pacon.bench/v1" in capsys.readouterr().err
+
+
+class TestHistoryCommand:
+    def test_history_table(self, tmp_path, capsys, monkeypatch):
+        for label, speedup in (("a", 2.0), ("b", 2.5), ("c", 3.0)):
+            (tmp_path / f"BENCH_{label}.json").write_text(
+                json.dumps(_bench_doc(label, speedup=speedup)))
+        monkeypatch.chdir(tmp_path)
+        rc = main(["history"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a -> b -> c" in out
+        assert "figX.derived.speedup" in out
+        assert "+50.0%" in out
+
+    def test_history_no_snapshots_exits_two(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["history"])
+        assert rc == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_history_json_with_metric_glob(self, tmp_path, capsys):
+        paths = []
+        for label, speedup in (("a", 2.0), ("b", 4.0)):
+            path = tmp_path / f"BENCH_{label}.json"
+            path.write_text(json.dumps(_bench_doc(label, speedup=speedup)))
+            paths.append(str(path))
+        rc = main(["history", *paths, "--metric", "figX.rows[0].ops",
+                   "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["metric"] for row in rows] == ["figX.rows[0].ops"]
 
 
 class TestObservabilityCommands:
