@@ -20,3 +20,17 @@ def test_fig11_scalability(benchmark, scale):
     # Pacon's normalized curve is monotonically non-decreasing.
     norms = [r["normalized"] for r in result.where(system="pacon")]
     assert all(b >= a * 0.9 for a, b in zip(norms, norms[1:]))
+
+
+def test_fig11_aggregate_scalability(benchmark, scale):
+    """Aggregate-client scenario: one process stands in for N ranks,
+    reaching >=10x the faithful sweep's maximum client count."""
+    result = benchmark.pedantic(fig11.run_aggregate, args=(scale,),
+                                iterations=1, rounds=1)
+    faithful_max = max(n * c for n, c in fig11.SCALES[scale]["points"])
+    max_logical = result.derived["max_logical_clients"]
+    assert max_logical >= 10 * faithful_max
+    for row in result.where(system="pacon"):
+        assert row["logical_clients"] == (row["physical_clients"]
+                                          * row["multiplier"])
+        assert row["logical_ops_per_sec"] >= row["ops_per_sec"]

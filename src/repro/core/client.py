@@ -46,7 +46,7 @@ from repro.kvstore.memkv import CasMismatch, KeyExists
 from repro.sim.core import Event
 from repro.sim.rng import stable_hash
 
-__all__ = ["PaconClient"]
+__all__ = ["PaconClient", "AggregateClient"]
 
 
 def _traced(fn):
@@ -828,3 +828,37 @@ class PaconClient:
         if updated is None and state["committed_meanwhile"]:
             yield from self.dfs_client.write(path, 0, record["size"])
         self._note("fsync", "cas-update", "sync", "none")
+
+
+class AggregateClient(PaconClient):
+    """One DES process standing in for ``multiplier`` identical clients.
+
+    Hierarchical aggregation for very large client-count sweeps: instead
+    of one simulated process per application rank, one process runs the
+    op stream once and each completed op is *accounted* ``multiplier``
+    times (``ops`` counts logical operations).  This trades per-rank
+    fidelity for a 10–100× larger logical client population at the same
+    event-heap footprint.
+
+    The model is a documented approximation: it assumes the aggregated
+    ranks are statistically identical and that per-op service times are
+    load-independent over the aggregated population — physical contention
+    (cache shards, commit queues, node CPUs) is exercised only by the
+    physical processes, so saturation effects beyond the physical
+    population are *not* reproduced.  Never used by the paper figures;
+    deployments hand it out only when
+    ``config.aggregate_multiplier > 1`` (see the fig11 aggregate
+    scenario).
+    """
+
+    def __init__(self, region: ConsistentRegion, node, multiplier: int,
+                 trace: bool = False):
+        if multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        super().__init__(region, node, trace=trace)
+        self.multiplier = multiplier
+
+    def _note(self, op: str, cache_op: str, comm: str, commit: str) -> None:
+        super()._note(op, cache_op, comm, commit)
+        # One physical op stands for ``multiplier`` logical ops.
+        self.ops += self.multiplier - 1

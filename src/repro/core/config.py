@@ -78,6 +78,16 @@ class PaconConfig:
     #: Clients per node (used when a deployment auto-creates clients).
     clients_per_node: int = 20
 
+    #: Hierarchical aggregation: each client object stands in for this
+    #: many statistically identical application processes.  1 (default)
+    #: gives one DES process per client — the faithful model every paper
+    #: figure uses.  Larger values make deployments hand out
+    #: :class:`~repro.core.client.AggregateClient` instances whose ops
+    #: are counted ``aggregate_multiplier`` times, extending client-count
+    #: sweeps 10–100× at the same event-heap footprint (opt-in; used only
+    #: by the aggregate scalability scenario).
+    aggregate_multiplier: int = 1
+
     def __post_init__(self) -> None:
         if self.small_file_threshold < 0:
             raise ValueError("small_file_threshold must be >= 0")
@@ -92,3 +102,5 @@ class PaconConfig:
         if self.commit_queue_capacity is not None \
                 and self.commit_queue_capacity < 1:
             raise ValueError("commit_queue_capacity must be >= 1 or None")
+        if self.aggregate_multiplier < 1:
+            raise ValueError("aggregate_multiplier must be >= 1")

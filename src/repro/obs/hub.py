@@ -76,6 +76,14 @@ class MetricsHub:
     def record_sample(self, name: str, time: float, value: float) -> None:
         self.stats.series(name).append(time, value)
 
+    def series_recorder(self, name: str) -> Any:
+        """Bound ``append`` for one gauge series.
+
+        Samplers resolve each gauge's recorder once and skip the
+        per-sample registry lookup and key formatting on every wakeup.
+        """
+        return self.stats.series(name).append
+
     # -- wiring ------------------------------------------------------------
     def register_resource(self, resource, name: str = "") -> Optional[str]:
         """Track a :class:`~repro.sim.resources.Resource` for profiling.
@@ -304,6 +312,9 @@ class _NullHub(MetricsHub):
 
     def record_sample(self, *a, **kw) -> None:  # pragma: no cover
         return
+
+    def series_recorder(self, name: str) -> Any:  # pragma: no cover
+        return lambda time, value: None
 
     def attach_region(self, region, start_sampler: bool = True):
         raise RuntimeError("NULL_HUB is shared and read-only; create a"

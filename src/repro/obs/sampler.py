@@ -12,16 +12,24 @@ records point-in-time gauges for one region into the hub's registry:
   busy slot-seconds accumulated since the previous sample divided by
   window × capacity, so bursts show up instead of being averaged away.
 
+Sampling is batched: every gauge key string and its series-append
+recorder are resolved once (at construction, or on first sight of a
+queue), so a wakeup is a single pass over the region's queues and
+resources with no per-sample f-string formatting or registry lookups.
+
 The sampler only *reads* state and never yields anything but its own
 timeout, so it cannot perturb the simulated timing of the system under
 test.  It exits on its own once the region's commit queues close (end of
 run) or when interrupted via :meth:`stop`, so a drained event heap stays
-drainable.
+drainable.  A region with *zero* commit queues (cache-only) never
+self-exits — it samples until :meth:`stop` — since "all queues closed"
+is vacuously true from the first wakeup and would otherwise end sampling
+after one point.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.sim.core import Event, Interrupt
 
@@ -44,8 +52,21 @@ class GaugeSampler:
         #: sampler records (the hub hands each sampler only the resources
         #: it registered first, so shared ones are sampled exactly once).
         self.resources = list(resources or [])
-        self._last_busy: Dict[str, Tuple[float, float]] = {}
         self._process = None
+        # Preresolved recorders: one bound ``series.append`` per gauge.
+        recorder = hub.series_recorder
+        self._record_backlog = recorder(f"queue.backlog[{region.name}]")
+        self._record_used = recorder(f"cache.used_bytes[{region.name}]")
+        self._record_hit_rate = recorder(f"cache.hit_rate[{region.name}]")
+        self._queue_recorders: Dict[str, Callable[[float, float], None]] = {
+            q.name: recorder(f"queue.depth[{q.name}]")
+            for q in region.queues.queues()}
+        #: Mutable per-resource state: [resource, recorder, capacity,
+        #: last_busy, last_t] — one flat pass per wakeup, no dict lookups.
+        self._resource_state: List[list] = [
+            [res, recorder(f"resource.util[{name}]"), res.capacity,
+             0.0, res.created_at]
+            for name, res in self.resources]
 
     # -- lifecycle ---------------------------------------------------------
     def start(self):
@@ -65,32 +86,50 @@ class GaugeSampler:
     def run(self) -> Generator[Event, Any, None]:
         try:
             while True:
-                self.sample_once()
-                if all(q.closed for q in self.region.queues.queues()):
+                all_closed = self.sample_once()
+                if all_closed:
                     return  # end of run: let the event heap drain
                 yield self.env.timeout(self.interval)
         except Interrupt:
             return
 
-    def sample_once(self) -> None:
-        """Record one point per gauge at the current simulated time."""
+    def sample_once(self) -> bool:
+        """Record one point per gauge at the current simulated time.
+
+        Returns True when the region has commit queues and every one has
+        closed (the sampler's natural exit).  Vacuous truth is excluded
+        deliberately: a queue-less region reports False forever and is
+        sampled until :meth:`stop`.
+        """
         t = self.env.now
         region = self.region
-        record = self.hub.record_sample
-        for queue in region.queues.queues():
-            record(f"queue.depth[{queue.name}]", t, len(queue))
-        record(f"queue.backlog[{region.name}]", t,
-               region.queues.total_backlog())
-        record(f"cache.used_bytes[{region.name}]", t,
-               region.cache.used_bytes())
-        record(f"cache.hit_rate[{region.name}]", t, region.cache.hit_rate())
-        for name, resource in self.resources:
+        queues = region.queues.queues()
+        queue_recorders = self._queue_recorders
+        backlog = 0
+        all_closed = True
+        saw_queue = False
+        for queue in queues:
+            saw_queue = True
+            depth = len(queue)
+            backlog += depth
+            rec = queue_recorders.get(queue.name)
+            if rec is None:  # queue appeared after construction
+                rec = self.hub.series_recorder(f"queue.depth[{queue.name}]")
+                queue_recorders[queue.name] = rec
+            rec(t, depth)
+            if not queue.closed:
+                all_closed = False
+        self._record_backlog(t, backlog)
+        self._record_used(t, region.cache.used_bytes())
+        self._record_hit_rate(t, region.cache.hit_rate())
+        for state in self._resource_state:
+            resource, rec, capacity, prev_busy, prev_t = state
             busy = resource.busy_time()
-            prev_busy, prev_t = self._last_busy.get(
-                name, (0.0, resource.created_at))
             window = t - prev_t
-            util = ((busy - prev_busy) / (window * resource.capacity)
+            util = ((busy - prev_busy) / (window * capacity)
                     if window > 0 else 0.0)
-            record(f"resource.util[{name}]", t, util)
-            self._last_busy[name] = (busy, t)
+            rec(t, util)
+            state[3] = busy
+            state[4] = t
         self.samples += 1
+        return saw_queue and all_closed

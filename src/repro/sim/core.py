@@ -14,11 +14,19 @@ A minimal, deterministic, generator-based DES in the style of SimPy:
 Determinism: ties in the event heap are broken by a monotonically increasing
 sequence number, so two runs with the same seed replay identically.  This is
 what makes the benchmark figures reproducible run-to-run.
+
+The hot path is allocation-lean (see ``docs/kernel.md``): heap entries are
+plain ``(time, key, fn, arg)`` tuples — no shadow Event objects for late
+callbacks or interrupt delivery — callback lists are allocated lazily on
+the first ``add_callback``, and an interrupted process detaches from the
+event it was waiting on by *marking* (an O(1) identity check on resume)
+instead of a linear ``callbacks.remove``.
 """
 
 from __future__ import annotations
 
 import heapq
+from inspect import getgeneratorstate
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -37,6 +45,21 @@ __all__ = [
 ProcessGenerator = Generator["Event", Any, Any]
 
 _PENDING = object()
+
+#: Sentinel stored in ``Event.callbacks`` once the event has been
+#: processed.  Distinct from ``None``, which means "no callbacks added
+#: yet" (the list is allocated lazily on the first ``add_callback``).
+_PROCESSED = object()
+
+#: Heap keys are the schedule sequence number; interrupt-carrier entries
+#: subtract this bias so every same-time interrupt sorts before every
+#: same-time ordinary event (the old explicit priority -1 lane) while
+#: interrupts keep FIFO order among themselves.  Sequence numbers stay
+#: far below the bias for any feasible run length.
+_INTERRUPT_BIAS = 1 << 62
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -63,6 +86,13 @@ class Event:
     value) or :meth:`fail` (carrying an exception).  Callbacks registered
     before triggering run when the environment processes the event;
     callbacks registered after triggering are scheduled immediately.
+
+    ``callbacks`` is ``None`` until the first callback is added, a bare
+    callable while exactly one callback is registered (the overwhelmingly
+    common case — one process waiting on one event — pays no list
+    allocation), a list once a second callback joins, and the
+    module-level ``_PROCESSED`` sentinel once the event has fired and its
+    callbacks have run.
     """
 
     __slots__ = ("env", "callbacks", "_value", "_exc", "_scheduled", "name")
@@ -70,7 +100,7 @@ class Event:
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
         self.name = name
-        self.callbacks: Optional[list] = []
+        self.callbacks: Any = None
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
         self._scheduled = False
@@ -84,7 +114,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run (or begun running)."""
-        return self.callbacks is None
+        return self.callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -106,8 +136,12 @@ class Event:
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
-            raise SimulationError(f"event {self!r} already triggered")
+        # _scheduled covers both the triggered states and a pending
+        # Timeout (scheduled from birth): manually triggering either is
+        # kernel misuse.
+        if self._scheduled or self.triggered:
+            raise SimulationError(f"event {self!r} already triggered"
+                                  " or scheduled")
         self._value = value
         self.env._schedule(self)
         return self
@@ -115,19 +149,25 @@ class Event:
     def fail(self, exc: BaseException) -> "Event":
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() needs an exception, got {exc!r}")
-        if self.triggered:
-            raise SimulationError(f"event {self!r} already triggered")
+        if self._scheduled or self.triggered:
+            raise SimulationError(f"event {self!r} already triggered"
+                                  " or scheduled")
         self._exc = exc
         self._value = None
         self.env._schedule(self)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
-        if self.callbacks is not None:
-            self.callbacks.append(fn)
-        else:
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = fn
+        elif callbacks is _PROCESSED:
             # Already processed: run at the current time, next cycle.
             self.env._schedule_callback(fn, self)
+        elif type(callbacks) is list:
+            callbacks.append(fn)
+        else:
+            self.callbacks = [callbacks, fn]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "triggered" if self.triggered else "pending"
@@ -135,24 +175,64 @@ class Event:
         return f"<{type(self).__name__}{label} {state} at t={self.env.now:.6g}>"
 
 
-class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+def _fire_timeout(timeout: "Timeout") -> None:
+    """Deliver a Timeout: move the pending value in, run callbacks.
 
-    __slots__ = ("delay",)
+    Module-level (not a bound method) so scheduling a Timeout allocates
+    nothing beyond its heap tuple.
+    """
+    timeout._value = timeout._pending_value
+    callbacks = timeout.callbacks
+    timeout.callbacks = _PROCESSED
+    if callbacks is not None:
+        if type(callbacks) is list:
+            for fn in callbacks:
+                fn(timeout)
+        else:
+            callbacks(timeout)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    The value is held in ``_pending_value`` until the clock reaches the
+    fire time, so ``triggered``/``ok``/``value`` answer honestly while
+    the timeout is still pending (a fresh ``Timeout(env, 5, value=3)``
+    is *not* triggered until t=5).
+    """
+
+    __slots__ = ("delay", "_pending_value")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__ — timeouts are the single most-allocated
+        # object in any run (one per simulated service time), so the
+        # super().__init__ call is worth skipping.
+        self.env = env
+        self.name = ""
+        self.callbacks = None
+        self._value = _PENDING
+        self._exc = None
         self.delay = delay
-        self._value = value
-        self.env._schedule(self, delay=delay)
+        self._pending_value = value
+        self._scheduled = True
+        env._seq = seq = env._seq + 1
+        _heappush(env._heap, (env.now + delay, seq, _fire_timeout, self))
+
+
+def _start_process(process: "Process") -> None:
+    """Bootstrap entry: resume the generator for the first time."""
+    if process.triggered:
+        return  # cancelled before start (interrupt won the race)
+    process._advance(None, None)
 
 
 class Process(Event):
     """A running generator; also an event that fires on completion."""
 
-    __slots__ = ("_generator", "_waiting_on", "label")
+    __slots__ = ("_generator", "_waiting_on", "_detached", "_resume_cb",
+                 "label")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  label: str = ""):
@@ -164,10 +244,17 @@ class Process(Event):
         self.label = label
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume the generator at the current time.
-        boot = Event(env, name="process-bootstrap")
-        boot.callbacks.append(self._resume)
-        boot.succeed()
+        #: Event we were detached from by an interrupt whose (stale)
+        #: callback is still registered — removal-marking instead of a
+        #: linear ``callbacks.remove`` (see ``_deliver_interrupt``).
+        self._detached: Optional[Event] = None
+        #: The one bound-method object registered as a callback for every
+        #: wait (avoids a bound-method allocation per resume).
+        self._resume_cb = self._resume
+        # Bootstrap: resume the generator at the current time, straight
+        # from the heap — no shadow bootstrap Event.
+        env._seq = seq = env._seq + 1
+        _heappush(env._heap, (env.now, seq, _start_process, self))
 
     @property
     def is_alive(self) -> bool:
@@ -181,46 +268,119 @@ class Process(Event):
 
     # -- internal ------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
-        """Advance the generator with the trigger event's outcome."""
-        if self.triggered:
-            return  # cancelled before start (interrupt won the race)
+        """Callback: the event this process was waiting on has fired.
+
+        Body is a hand-inlined copy of ``_advance`` (keep the two in
+        sync): this runs once per processed event, and the extra call
+        frame is measurable at millions of events per run.
+        """
+        if trigger is not self._waiting_on:
+            # Stale wakeup from an event we detached from (interrupt won)
+            # or the process already finished.  Consume the marker so a
+            # future wait on the same event registers a fresh callback.
+            if trigger is self._detached:
+                self._detached = None
+            return
+        exc = trigger._exc
+        env = self.env
         self._waiting_on = None
-        self.env._active_process = self
+        env._active_process = self
         try:
-            if trigger._exc is not None:
-                target = self._generator.throw(trigger._exc)
+            if exc is not None:
+                target = self._generator.throw(exc)
             else:
                 target = self._generator.send(trigger._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self._value = stop.value
-            self.env._schedule(self)
+            env._schedule(self)
             return
-        except BaseException as exc:
-            self.env._active_process = None
-            self._exc = exc
+        except BaseException as err:
+            env._active_process = None
+            self._exc = err
             self._value = None
-            self.env._schedule(self)
-            if not self.env._catch_process_errors:
+            env._schedule(self)
+            if not env._catch_process_errors:
                 raise
             return
-        self.env._active_process = None
-        if not isinstance(target, Event):
+        env._active_process = None
+        if target.__class__ is not Timeout and not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.label or self._generator!r} yielded"
                 f" {target!r}; processes must yield Event instances"
                 " (use 'yield from' for sub-generators)")
-        if target.env is not self.env:
+        if target.env is not env:
             raise SimulationError("yielded event belongs to another Environment")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if target is self._detached:
+            self._detached = None
+            return
+        callbacks = target.callbacks
+        if callbacks is None:
+            target.callbacks = self._resume_cb
+        elif callbacks is _PROCESSED:
+            env._schedule_callback(self._resume_cb, target)
+        elif type(callbacks) is list:
+            callbacks.append(self._resume_cb)
+        else:
+            target.callbacks = [callbacks, self._resume_cb]
+
+    def _advance(self, exc: Optional[BaseException], value: Any) -> None:
+        """Advance the generator with one outcome (exception or value).
+
+        Mirrored inline in ``_resume`` — change both together."""
+        env = self.env
+        self._waiting_on = None
+        env._active_process = self
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            env._active_process = None
+            self._value = stop.value
+            env._schedule(self)
+            return
+        except BaseException as err:
+            env._active_process = None
+            self._exc = err
+            self._value = None
+            env._schedule(self)
+            if not env._catch_process_errors:
+                raise
+            return
+        env._active_process = None
+        # Timeout is what nearly every wait yields; the exact-class check
+        # skips the generic isinstance walk on that path.
+        if target.__class__ is not Timeout and not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.label or self._generator!r} yielded"
+                f" {target!r}; processes must yield Event instances"
+                " (use 'yield from' for sub-generators)")
+        if target.env is not env:
+            raise SimulationError("yielded event belongs to another Environment")
+        self._waiting_on = target
+        if target is self._detached:
+            # Re-waiting on the event we were detached from: its stale
+            # callback is still registered — reuse it instead of adding a
+            # duplicate (which could double-resume).
+            self._detached = None
+            return
+        callbacks = target.callbacks
+        if callbacks is None:
+            target.callbacks = self._resume_cb
+        elif callbacks is _PROCESSED:
+            env._schedule_callback(self._resume_cb, target)
+        elif type(callbacks) is list:
+            callbacks.append(self._resume_cb)
+        else:
+            target.callbacks = [callbacks, self._resume_cb]
 
     def _deliver_interrupt(self, interrupt: Interrupt) -> None:
         if self.triggered:
             return
-        import inspect
-
-        if inspect.getgeneratorstate(self._generator) == "GEN_CREATED":
+        if getgeneratorstate(self._generator) == "GEN_CREATED":
             # Interrupted before the bootstrap ran (the generator never
             # started): a throw would surface at the generator's first
             # line, outside any try block.  Cancel the process instead —
@@ -231,32 +391,61 @@ class Process(Event):
             self.env._schedule(self)
             return
         waiting = self._waiting_on
-        if waiting is not None and not waiting.processed:
+        if waiting is not None:
             # Detach from the event we were waiting on; it may still fire
-            # later but must no longer resume us with its value.
-            try:
-                waiting.callbacks.remove(self._resume)
-            except (ValueError, AttributeError):
-                pass
-        self._waiting_on = None
-        carrier = Event(self.env, name="interrupt")
-        carrier._exc = interrupt
-        carrier._value = None
-        carrier.callbacks = None
-        self._resume(carrier)
+            # later but must no longer resume us with its value.  Mark
+            # instead of the old linear ``callbacks.remove`` — `_resume`
+            # drops the stale wakeup via an O(1) identity check.  One
+            # marker slot suffices for the common case; a second detach
+            # while the first marker is live falls back to removal.
+            if self._detached is None:
+                self._detached = waiting
+            else:
+                callbacks = waiting.callbacks
+                if callbacks is self._resume_cb:
+                    waiting.callbacks = None
+                elif type(callbacks) is list:
+                    try:
+                        callbacks.remove(self._resume_cb)
+                    except ValueError:
+                        pass
+        self._advance(interrupt, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.triggered else "alive"
         return f"<Process {self.label or self._generator!r} {state}>"
 
 
+def _detach_callback(children: Iterable[Event], winner: Optional[Event],
+                     callback: Callable) -> None:
+    """Drop ``callback`` from every still-pending child except ``winner``.
+
+    Condition events (AnyOf, fail-fast AllOf) decide on their first
+    relevant child; without this, a long-lived losing child (e.g. a
+    crash-watchdog raced against every op) pins the condition event and
+    its whole children list for the rest of the run.
+    """
+    for child in children:
+        if child is winner:
+            continue
+        callbacks = child.callbacks
+        if callbacks is callback:
+            child.callbacks = None
+        elif type(callbacks) is list:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                pass
+
+
 class AllOf(Event):
     """Fires when every child event has fired; value is a list of values.
 
-    Fails fast with the first child failure.
+    Fails fast with the first child failure (and detaches from the
+    remaining children so they no longer reference this event).
     """
 
-    __slots__ = ("_children", "_remaining")
+    __slots__ = ("_children", "_remaining", "_child_cb")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -265,14 +454,18 @@ class AllOf(Event):
         if self._remaining == 0:
             self.succeed([])
             return
+        # One bound method shared by every child registration, so the
+        # detach path can drop it by identity.
+        self._child_cb = cb = self._on_child
         for ev in self._children:
-            ev.add_callback(self._on_child)
+            ev.add_callback(cb)
 
     def _on_child(self, ev: Event) -> None:
         if self.triggered:
             return
         if ev._exc is not None:
             self.fail(ev._exc)
+            _detach_callback(self._children, ev, self._child_cb)
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -280,25 +473,32 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Fires when the first child event fires; value is (index, value)."""
+    """Fires when the first child event fires; value is (index, value).
 
-    __slots__ = ("_children",)
+    The first child to fire wins; the losers' callbacks are detached so
+    long-lived losing events do not pin this event (and its children
+    list) for the rest of the run.
+    """
+
+    __slots__ = ("_children", "_child_cb")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._children = list(events)
         if not self._children:
             raise ValueError("AnyOf needs at least one event")
-        for idx, ev in enumerate(self._children):
-            ev.add_callback(lambda e, i=idx: self._on_child(i, e))
+        self._child_cb = cb = self._on_child
+        for ev in self._children:
+            ev.add_callback(cb)
 
-    def _on_child(self, idx: int, ev: Event) -> None:
+    def _on_child(self, ev: Event) -> None:
         if self.triggered:
             return
         if ev._exc is not None:
             self.fail(ev._exc)
         else:
-            self.succeed((idx, ev._value))
+            self.succeed((self._children.index(ev), ev._value))
+        _detach_callback(self._children, ev, self._child_cb)
 
 
 class Environment:
@@ -307,6 +507,13 @@ class Environment:
     def __init__(self, initial_time: float = 0.0,
                  catch_process_errors: bool = False):
         self.now = float(initial_time)
+        #: Heap of ``(time, key, fn, arg)``.  ``key`` is the schedule
+        #: sequence number (biased negative for interrupt carriers) and
+        #: is unique, so ``fn``/``arg`` are never compared.  ``fn`` is
+        #: None for ordinary events (``arg`` is the Event to process);
+        #: otherwise the entry is a bare deferred call ``fn(arg)`` —
+        #: timeout firing, late callbacks, interrupt delivery, process
+        #: bootstrap — with no shadow Event allocated.
         self._heap: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
@@ -343,46 +550,45 @@ class Environment:
         if event._scheduled:
             return
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, 0, self._seq, event))
+        self._seq = seq = self._seq + 1
+        _heappush(self._heap, (self.now + delay, seq, None, event))
 
     def _schedule_callback(self, fn: Callable[[Event], None],
                            event: Event) -> None:
         """Run ``fn(event)`` for an already-processed event, ASAP."""
-        shadow = Event(self, name="late-callback")
-        shadow._value = event._value
-        shadow._exc = event._exc
-        shadow.callbacks = [lambda _s: fn(event)]
-        shadow._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now, 0, self._seq, shadow))
+        self._seq = seq = self._seq + 1
+        _heappush(self._heap, (self.now, seq, fn, event))
 
     def _schedule_interrupt(self, process: Process,
                             interrupt: Interrupt) -> None:
-        shadow = Event(self, name="interrupt-carrier")
-        shadow._value = None
-        shadow.callbacks = [lambda _s: process._deliver_interrupt(interrupt)]
-        shadow._scheduled = True
-        self._seq += 1
-        # Priority -1: interrupts beat same-time ordinary events so that a
-        # killed node stops before processing messages stamped at the same
-        # instant.
-        heapq.heappush(self._heap, (self.now, -1, self._seq, shadow))
+        # Biased key: interrupts beat same-time ordinary events so that a
+        # killed node stops before processing messages stamped at the
+        # same instant.
+        self._seq = seq = self._seq + 1
+        _heappush(self._heap, (self.now, seq - _INTERRUPT_BIAS,
+                               process._deliver_interrupt, interrupt))
 
     # -- main loop -------------------------------------------------------
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (or deferred kernel call)."""
         if not self._heap:
             raise SimulationError("step() on empty event heap")
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        t, _key, fn, arg = _heappop(self._heap)
         if t < self.now:  # pragma: no cover - kernel invariant
             raise SimulationError("time went backwards")
         self.now = t
         self._event_count += 1
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks:
-            for fn in callbacks:
-                fn(event)
+        if fn is not None:
+            fn(arg)
+            return
+        callbacks = arg.callbacks
+        arg.callbacks = _PROCESSED
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for cb in callbacks:
+                    cb(arg)
+            else:
+                callbacks(arg)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -390,26 +596,85 @@ class Environment:
         ``until`` may be ``None`` (run to heap exhaustion), a number (run to
         that simulated time), or an :class:`Event` (run until it triggers
         and return its value).
+
+        The ``step`` body is inlined into each loop below: one Python
+        function call per event is the single largest fixed cost in the
+        kernel, and these loops process millions of events per run.  The
+        event count is accumulated locally and flushed in ``finally`` so
+        ``processed_events`` stays correct even when a process error
+        propagates out mid-run.
         """
+        heap = self._heap
+        pop = _heappop
+        processed = _PROCESSED
+        count = 0
         if until is None:
-            while self._heap:
-                self.step()
+            try:
+                while heap:
+                    t, _key, fn, arg = pop(heap)
+                    self.now = t
+                    count += 1
+                    if fn is not None:
+                        fn(arg)
+                    else:
+                        callbacks = arg.callbacks
+                        arg.callbacks = processed
+                        if callbacks is not None:
+                            if type(callbacks) is list:
+                                for cb in callbacks:
+                                    cb(arg)
+                            else:
+                                callbacks(arg)
+            finally:
+                self._event_count += count
             return None
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited"
-                        f" event triggered: {target!r} — deadlock?")
-                self.step()
+            try:
+                while target.callbacks is not processed:
+                    if not heap:
+                        raise SimulationError(
+                            "simulation ran out of events before the awaited"
+                            f" event triggered: {target!r} — deadlock?")
+                    t, _key, fn, arg = pop(heap)
+                    self.now = t
+                    count += 1
+                    if fn is not None:
+                        fn(arg)
+                    else:
+                        callbacks = arg.callbacks
+                        arg.callbacks = processed
+                        if callbacks is not None:
+                            if type(callbacks) is list:
+                                for cb in callbacks:
+                                    cb(arg)
+                            else:
+                                callbacks(arg)
+            finally:
+                self._event_count += count
             return target.value
         deadline = float(until)
         if deadline < self.now:
             raise ValueError(f"run(until={deadline}) is in the past "
                              f"(now={self.now})")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        try:
+            while heap and heap[0][0] <= deadline:
+                t, _key, fn, arg = pop(heap)
+                self.now = t
+                count += 1
+                if fn is not None:
+                    fn(arg)
+                else:
+                    callbacks = arg.callbacks
+                    arg.callbacks = processed
+                    if callbacks is not None:
+                        if type(callbacks) is list:
+                            for cb in callbacks:
+                                cb(arg)
+                        else:
+                            callbacks(arg)
+        finally:
+            self._event_count += count
         self.now = deadline
         return None
 

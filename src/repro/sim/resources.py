@@ -40,6 +40,9 @@ class Resource:
         # Optional observer called with each queued waiter's wait time;
         # installed by MetricsHub to feed resource.wait[<name>] histograms.
         self._wait_observe: Optional[Callable[[float], None]] = None
+        # Event name built once — acquire() runs per simulated op and a
+        # per-call f-string shows up in kernel profiles.
+        self._event_name = f"acquire:{name}"
 
     @property
     def in_use(self) -> int:
@@ -76,7 +79,7 @@ class Resource:
         """Return an event that fires when a slot is granted."""
         self._account()
         self.total_acquires += 1
-        ev = self.env.event(name=f"acquire:{self.name}")
+        ev = Event(self.env, self._event_name)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             ev.succeed(self.env.now)  # value: grant time (== request time)
@@ -130,6 +133,7 @@ class Store:
         self._getters: Deque[Event] = deque()
         self.total_puts = 0
         self.total_gets = 0
+        self._event_name = f"get:{name}"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -143,7 +147,7 @@ class Store:
 
     def get(self) -> Event:
         self.total_gets += 1
-        ev = self.env.event(name=f"get:{self.name}")
+        ev = Event(self.env, self._event_name)
         if self._items:
             ev.succeed(self._items.popleft())
         else:
@@ -190,13 +194,14 @@ class Gate:
         self.name = name
         self._open = opened
         self._waiters: list[Event] = []
+        self._event_name = f"gate:{name}"
 
     @property
     def is_open(self) -> bool:
         return self._open
 
     def wait(self) -> Event:
-        ev = self.env.event(name=f"gate:{self.name}")
+        ev = Event(self.env, self._event_name)
         if self._open:
             ev.succeed()
         else:
@@ -229,9 +234,10 @@ class Barrier:
         self.parties = parties
         self.generation = 0
         self._waiting: list[Event] = []
+        self._event_name = f"barrier:{name}"
 
     def arrive(self) -> Event:
-        ev = self.env.event(name=f"barrier:{self.name}")
+        ev = Event(self.env, self._event_name)
         self._waiting.append(ev)
         if len(self._waiting) == self.parties:
             gen = self.generation

