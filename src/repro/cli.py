@@ -158,6 +158,24 @@ def build_parser() -> argparse.ArgumentParser:
     _observed_workload_args(profile)
     profile.add_argument("--top", type=int, default=10,
                          help="how many slowest ops to list")
+
+    chaos = sub.add_parser(
+        "chaos", help="inject faults into a live Pacon run and check the"
+                      " post-recovery convergence invariants")
+    chaos.add_argument("scenario", nargs="?", default="all",
+                       choices=("all", "mds_crash", "barrier_crash",
+                                "partition_heal", "cache_churn",
+                                "node_crash"))
+    chaos.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    chaos.add_argument("--items", type=int, default=24,
+                       help="files created per client")
+    chaos.add_argument("--nodes", type=int, default=3)
+    chaos.add_argument("--clients-per-node", type=int, default=2)
+    chaos.add_argument("--metrics-out", default=None,
+                       help="write the faulty run's MetricsHub JSON here"
+                            " (includes the chaos.* counters)")
+    chaos.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable scenario summaries")
     return parser
 
 
@@ -387,13 +405,47 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.chaos.scenarios import SCENARIOS, run_scenario
+    from repro.obs.hub import MetricsHub
+
+    names = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    hub = MetricsHub() if args.metrics_out else None
+    results = []
+    for name in names:
+        results.append(run_scenario(
+            name, seed=args.seed, hub=hub, items=args.items,
+            n_nodes=args.nodes, clients_per_node=args.clients_per_node))
+    if args.as_json:
+        print(json.dumps([r.summary() for r in results], indent=2,
+                         sort_keys=True))
+    else:
+        for r in results:
+            status = "ok" if r.ok else "FAILED"
+            print(f"== {r.name} [{status}] seed={r.seed}"
+                  f" faults={len(r.fault_records)} lost={r.lost_ops}"
+                  f" replays={r.replays} dropped={r.dropped}")
+            print(r.report)
+            for rec in r.fault_records:
+                print(f"  fault {rec.kind}[{rec.target}]"
+                      f" t={rec.injected_at:.6f}->{rec.recovered_at:.6f}"
+                      f" lost={rec.lost_ops} {rec.detail}")
+    if hub is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(hub.to_json(indent=2))
+        print(f"metrics written to {args.metrics_out}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"mdtest": _cmd_mdtest, "madbench": _cmd_madbench,
                 "figure": _cmd_figure, "all": _cmd_all,
                 "compare": _cmd_compare, "history": _cmd_history,
                 "stats": _cmd_stats, "trace": _cmd_trace,
-                "profile": _cmd_profile}
+                "profile": _cmd_profile, "chaos": _cmd_chaos}
     return handlers[args.command](args)
 
 

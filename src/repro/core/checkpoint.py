@@ -65,7 +65,9 @@ class CheckpointManager:
             workspace=ws,
             taken_at=self.env.now,
             snapshot=snapshot,
-            entries=_count_entries(snapshot["tree"]) - 1,
+            # The workspace root itself is not an entry; clamp so an empty
+            # (or degenerate) subtree snapshot reports 0, never -1.
+            entries=max(0, _count_entries(snapshot["tree"]) - 1),
         )
         self.checkpoints.append(cp)
         if len(self.checkpoints) > self.keep:

@@ -41,7 +41,8 @@ from repro.dfs.errors import (
 )
 from repro.dfs.namespace import parent_of
 from repro.mq.queue import QueueClosed
-from repro.sim.core import Event
+from repro.sim.core import Event, cancel_wait
+from repro.sim.network import NodeDownError
 
 __all__ = ["OpMessage", "BarrierMessage", "CommitProcess", "CommitStalled"]
 
@@ -68,6 +69,10 @@ class OpMessage:
     epoch: int = 0
     client_id: int = -1
     retries: int = 0
+    #: Times this op was re-queued after a transient transport failure
+    #: (MDS down mid-commit); distinct from ``retries`` which counts
+    #: namespace-convention rejections.
+    replays: int = 0
     #: Generation tag: the provisional ino of the cache record this
     #: operation belongs to.  A name can be created, removed, and
     #: recreated; post-commit cache bookkeeping must only touch its own
@@ -129,8 +134,15 @@ class CommitProcess:
         self.resubmissions = 0
         self.coalesced = 0
         self.barriers_passed = 0
+        self.replays = 0
+        self.aborts = 0
         self._process = None
         self._in_flight = 0
+        #: In-flight ops whose commit accounting already ran (they are in
+        #: post-commit bookkeeping, or awaiting their segment's bulk
+        #: resolution).  ``abort`` must not count these as lost — they are
+        #: on the DFS and in ``committed``.
+        self._in_flight_committed = 0
         #: Oldest publish timestamp among ops drained but not yet resolved
         #: (the removed-subtree pruner must see them as outstanding).
         self._in_flight_oldest: Optional[float] = None
@@ -153,6 +165,47 @@ class CommitProcess:
         return (len(self.queue) == 0 and not self._pending
                 and not any(self._future.values())
                 and self._in_flight == 0)
+
+    @property
+    def alive(self) -> bool:
+        """True while the commit loop's DES process is running."""
+        return self._process is not None and self._process.is_alive
+
+    def abort(self, reason: str = "abort") -> Dict[str, int]:
+        """Drop all unresolved work and stop the loop; return loss counts.
+
+        This is the crash path (§III.G): in-flight, retrying, and
+        held-for-future-epoch operations are destroyed, the commit loop
+        is interrupted, and the counts of what was lost are returned so
+        failure injection can account for them exactly.  The loop's wait
+        (queue get, barrier arrival, MDS worker slot, ...) is cancelled
+        first so no waiter registration or granted-but-unconsumed
+        resource slot leaks past the crash.
+        """
+        counts = {
+            # An op interrupted *after* its commit accounting ran (mid
+            # post-commit bookkeeping, or awaiting its segment's bulk
+            # decrement) is on the DFS, not lost.
+            "in_flight": max(0, self._in_flight - self._in_flight_committed),
+            "pending": len(self._pending),
+            "future": sum(len(v) for v in self._future.values()),
+        }
+        counts["total"] = sum(counts.values())
+        self._pending.clear()
+        self._future.clear()
+        self._barrier_counts.clear()
+        self._in_flight = 0
+        self._in_flight_committed = 0
+        self._in_flight_oldest = None
+        self.aborts += 1
+        if self.region.hub.enabled:
+            self.region.hub.count("commit.aborts")
+        proc = self._process
+        if proc is not None and proc.is_alive:
+            self.killed = True
+            cancel_wait(proc.waiting_on)
+            proc.interrupt(reason)
+        return counts
 
     def oldest_outstanding_timestamp(self) -> Optional[float]:
         """Oldest publish timestamp among this process's unresolved ops
@@ -182,11 +235,20 @@ class CommitProcess:
             self._future.clear()
             self._barrier_counts.clear()
             self._in_flight = 0
+            self._in_flight_committed = 0
             self._in_flight_oldest = None
 
     def _loop(self) -> Generator[Event, Any, None]:
+        from repro.sim.core import Interrupt
+
         closing = False
         while True:
+            # Backstop for a swallowed kill: if abort() flagged this loop
+            # dead but its Interrupt got absorbed downstream (e.g. caught
+            # mid-RPC and replaced by a network error), stop here rather
+            # than run on as a zombie corrupting in-flight accounting.
+            if self.killed:
+                raise Interrupt("aborted")
             # Barrier: local epoch fully drained -> rendezvous region-wide.
             if (self._barrier_counts.get(self.current_epoch, 0)
                     >= self.region.expected_barrier_messages(
@@ -260,6 +322,7 @@ class CommitProcess:
             yield from self._try_commit(op)
         finally:
             self._in_flight -= 1
+            self._in_flight_committed = 0
             self._in_flight_oldest = previous_oldest
 
     def _dispatch_batch(self, msgs: List[Any]) -> Generator[Event, Any,
@@ -295,6 +358,7 @@ class CommitProcess:
                 if isinstance(msg, BarrierMessage):
                     yield from self._commit_segment(segment)
                     self._in_flight -= len(segment)
+                    self._in_flight_committed = 0
                     outstanding -= len(segment)
                     segment = []
                     self._barrier_counts[msg.epoch] = \
@@ -307,10 +371,12 @@ class CommitProcess:
                     segment.append(msg)
             yield from self._commit_segment(segment)
             self._in_flight -= len(segment)
+            self._in_flight_committed = 0
             outstanding -= len(segment)
         finally:
             # Only nonzero when an exception cut the drain short.
             self._in_flight -= outstanding
+            self._in_flight_committed = 0
             self._in_flight_oldest = previous_oldest
 
     def _commit_segment(self, ops: List[OpMessage]) -> Generator[Event, Any,
@@ -367,8 +433,12 @@ class CommitProcess:
                     f"create+rm {op.path}")
                 if self.region.hub.enabled:
                     self.region.hub.count("commit.coalesced", 2)
-                yield from self.region.cache.delete_if_ino(
-                    self.node, op.path, op.gen_ino)
+                try:
+                    yield from self.region.cache.delete_if_ino(
+                        self.node, op.path, op.gen_ino)
+                except NodeDownError:
+                    if self.region.hub.enabled:
+                        self.region.hub.count("commit.postcommit_skipped")
         return [op for op in alive if op is not None]
 
     def _commit_batched(self, ops: List[OpMessage]) -> Generator[Event, Any,
@@ -393,11 +463,21 @@ class CommitProcess:
                 op, mode = group[0]
                 yield from self._attempt_single(op, mode)
                 continue
-            payload = [("unlink" if op.op == "rm" else op.op, op.path,
-                        {} if op.op == "rm" else {"mode": mode})
-                       for op, mode in group]
+            payload = []
+            for op, mode in group:
+                kwargs: Dict[str, Any] = (
+                    {} if op.op == "rm" else {"mode": mode})
+                token = self._commit_token(op)
+                if token is not None:
+                    kwargs["token"] = token
+                payload.append(
+                    ("unlink" if op.op == "rm" else op.op, op.path, kwargs))
             try:
                 results = yield from self.dfs_client.commit_batch(payload)
+            except NodeDownError:
+                for op, mode in group:
+                    self._replay(op)
+                continue
             except (FileNotFound, NotADirectory) as exc:
                 # The shared ancestor traversal failed (parent creation
                 # pending in some queue, or subtree removed): every op in
@@ -422,6 +502,32 @@ class CommitProcess:
             self._discard(op)
             return
         yield from self._attempt_single(op, self._committed_mode(op))
+
+    def _commit_token(self, op: OpMessage) -> Optional[Tuple]:
+        """Idempotency key for this op's MDS mutation (None when untagged).
+
+        ``(region, gen_ino, op)`` uniquely names one generation's mutation:
+        replaying it after a lost response must not re-apply.  Ops without
+        a generation tag stay untagged (no dedup — they also never ride
+        the replay path, which is the only at-least-once producer).
+        """
+        if op.gen_ino == -1:
+            return None
+        return (self.region.name, op.gen_ino, op.op)
+
+    def _replay(self, op: OpMessage) -> None:
+        """Re-queue an op whose MDS round trip failed in transport.
+
+        Transport loss (MDS crash mid-commit, partition) is transient and
+        unbounded — exempt from the MAX_RETRIES resubmission cap, which
+        exists to catch namespace-convention livelocks.  The op's commit
+        token makes the retry idempotent if the lost RPC actually applied.
+        """
+        op.replays += 1
+        self.replays += 1
+        if self.region.hub.enabled:
+            self.region.hub.count("commit.replays")
+        self._pending.append(op)
 
     def _committed_mode(self, op: OpMessage) -> int:
         """The mode this op should commit with.
@@ -448,17 +554,26 @@ class CommitProcess:
             proc = self.env.active_process
             tracer.push_context(proc, ctx)
         try:
+            token = self._commit_token(op)
             try:
                 if op.op == "mkdir":
-                    yield from self.dfs_client.mkdir(op.path, mode=mode)
+                    yield from self.dfs_client.mkdir(op.path, mode=mode,
+                                                     token=token)
                 elif op.op == "create":
-                    yield from self.dfs_client.create(op.path, mode=mode)
+                    yield from self.dfs_client.create(op.path, mode=mode,
+                                                      token=token)
                 elif op.op == "rm":
-                    yield from self.dfs_client.unlink(op.path)
+                    yield from self.dfs_client.unlink(op.path, token=token)
                 else:  # pragma: no cover - OpMessage validates op names
                     raise ValueError(op.op)
             except (FileExists, FileNotFound, NotADirectory) as exc:
                 yield from self._handle_commit_failure(op, mode, exc)
+                return
+            except NodeDownError:
+                # MDS (or the wire to it) went down mid-commit: the op may
+                # or may not have applied.  Replay with the same token —
+                # the MDS dedup memory resolves the ambiguity.
+                self._replay(op)
                 return
             yield from self._commit_success(op, mode)
         finally:
@@ -511,6 +626,9 @@ class CommitProcess:
     def _commit_success(self, op: OpMessage,
                         mode: int) -> Generator[Event, Any, None]:
         self.committed += 1
+        # From here until the op leaves the in-flight window (its segment
+        # resolves) a crash must not count it as lost: it is on the DFS.
+        self._in_flight_committed += 1
         self.region.ops_committed += 1
         self._close_queue_span(op)
         self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
@@ -523,7 +641,16 @@ class CommitProcess:
             hub.observe_commit(op.op, self.env.now - op.timestamp)
             if op.retries > 0:
                 hub.observe("commit.retries_to_commit", op.retries)
-        yield from self._after_commit(op, committed_mode=mode)
+        try:
+            yield from self._after_commit(op, committed_mode=mode)
+        except NodeDownError:
+            # The op is committed on the DFS; only the cache-side
+            # bookkeeping RPC was lost (cache node down or partitioned).
+            # Replaying would double-count the commit via token dedup, so
+            # just note the skip — the record reconverges via eviction or
+            # the next mutation of the name.
+            if hub.enabled:
+                hub.count("commit.postcommit_skipped")
 
     def _discard(self, op: OpMessage, orphan: bool = False) -> None:
         self.discarded += 1

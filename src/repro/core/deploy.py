@@ -93,6 +93,26 @@ class PaconDeployment:
                                          gid=region.config.gid)
             CommitProcess(region, node, dfs_client).start()
 
+    def grow_region_async(self, region: ConsistentRegion, node: Node):
+        """Generator form of :meth:`grow_region` for in-simulation callers
+        (chaos churn injects growth as a DES event mid-run)."""
+        yield from self.quiesce(region)
+        new_shard = region.add_node(node)
+        dfs_client = self.dfs.client(node, uid=region.config.uid,
+                                     gid=region.config.gid)
+        CommitProcess(region, node, dfs_client).start()
+        moved = 0
+        for old in region.shards:
+            if old is new_shard:
+                continue
+            entries = yield from old.request(node, "scan_prefix", "")
+            for key, record in entries:
+                if region.cache.shard_for(key) is new_shard:
+                    yield from new_shard.request(node, "set", key, record)
+                    yield from old.request(node, "delete", key)
+                    moved += 1
+        return moved
+
     def grow_region(self, region: ConsistentRegion, node: Node) -> int:
         """Elastically expand a region onto ``node`` (§III.A Benefit 2).
 
@@ -109,28 +129,54 @@ class PaconDeployment:
         completed, so the new node joins the rendezvous only for epochs
         whose barrier messages actually reach its queue.
         """
-        self.quiesce_sync(region)
-        new_shard = region.add_node(node)
-        dfs_client = self.dfs.client(node, uid=region.config.uid,
-                                     gid=region.config.gid)
-        CommitProcess(region, node, dfs_client).start()
-
-        def migrate():
-            moved = 0
-            for old in region.shards:
-                if old is new_shard:
-                    continue
-                entries = yield from old.request(node, "scan_prefix", "")
-                for key, record in entries:
-                    if region.cache.shard_for(key) is new_shard:
-                        yield from new_shard.request(node, "set", key,
-                                                     record)
-                        yield from old.request(node, "delete", key)
-                        moved += 1
-            return moved
-
-        return run_sync(self.cluster.env, migrate(),
+        return run_sync(self.cluster.env,
+                        self.grow_region_async(region, node),
                         label=f"grow:{region.name}")
+
+    def retire_node_async(self, region: ConsistentRegion, node: Node):
+        """Generator: shrink the region off ``node`` (planned departure).
+
+        Quiesces, waits for barrier epochs to settle, detaches the node
+        (ring, shard, queue — its commit process exits via queue close),
+        then migrates the departing shard's records back onto the ring.
+        The migration runs *after* ring removal and uses only-if-absent
+        ``add`` so a record mutated concurrently on its new home shard is
+        never clobbered by the stale departing copy.  Returns the number
+        of records migrated.
+        """
+        from repro.kvstore.memkv import KeyExists
+
+        env = self.cluster.env
+        yield from self.quiesce(region)
+        while region.barrier_epochs_completed < region.client_epoch \
+                or region.commit_barrier.n_waiting > 0:
+            yield env.timeout(200e-6)
+            yield from self.quiesce(region)
+        departing_cp = next((cp for cp in region.commit_processes
+                             if cp.node is node), None)
+        survivor = next(n for n in region.nodes if n is not node)
+        shard = region.remove_node(node)
+        if departing_cp is not None:
+            region.commit_processes.remove(departing_cp)
+        # The node is alive (this is retirement, not a crash): read the
+        # departing shard directly, then write each record to its new
+        # ring home.
+        entries = yield from shard.request(survivor, "scan_prefix", "")
+        moved = 0
+        for key, record in entries:
+            try:
+                yield from region.cache.shard_for(key).request(
+                    survivor, "add", key, record)
+                moved += 1
+            except KeyExists:
+                pass  # newer record already lives on the new home shard
+        shard.kv.flush_all()
+        return moved
+
+    def retire_node(self, region: ConsistentRegion, node: Node) -> int:
+        return run_sync(self.cluster.env,
+                        self.retire_node_async(region, node),
+                        label=f"retire:{region.name}")
 
     # -- component factories --------------------------------------------------
     def client(self, region: ConsistentRegion, node: Node,

@@ -180,6 +180,43 @@ class ConsistentRegion:
             self._deferred_barrier_parties.append(self.client_epoch)
         return shard
 
+    def remove_node(self, node: Node) -> "CacheShard":
+        """Shrink the region off ``node``; returns the detached shard.
+
+        The inverse of :meth:`add_node` for planned (non-crash) departure
+        — cache-node churn on the DHT ring.  Preconditions: the node must
+        host no clients, and all barrier epochs must be settled (the
+        departing commit process may still be draining; closing its queue
+        lets it exit cleanly).  Use
+        :meth:`repro.core.deploy.PaconDeployment.retire_node`, which
+        wraps this with the required quiesce and migrates the departing
+        shard's records back onto the ring.
+        """
+        if node not in self.nodes:
+            raise ValueError(f"node {node.name} not in region {self.name}")
+        if len(self.nodes) == 1:
+            raise ValueError(f"cannot remove the last node of {self.name}")
+        if self.clients_on_node.get(node.node_id, 0) > 0:
+            raise RuntimeError(
+                f"node {node.name} still hosts clients; move them first")
+        if self.barrier_epochs_completed < self.client_epoch \
+                or self.commit_barrier.n_waiting > 0:
+            raise RuntimeError(
+                f"region {self.name} has barrier epochs in flight;"
+                " settle them before removing a node")
+        shard = next(s for s in self.shards if s.node is node)
+        self.nodes.remove(node)
+        self.shards.remove(shard)
+        self.cache.ring.remove(shard)
+        self.cache.shards.remove(shard)
+        # Pop from the group before closing so a concurrent broadcast
+        # never trips over a closed member queue.
+        queue = self.queues.remove_node(node.node_id)
+        queue.close()
+        del self.clients_on_node[node.node_id]
+        self.commit_barrier.parties -= 1
+        return shard
+
     # -- merging (§III.D.4) ----------------------------------------------------------
     def merge(self, other: "ConsistentRegion", mutual: bool = True) -> None:
         """Connect regions so clients can read each other's workspace.
@@ -246,7 +283,10 @@ class ConsistentRegion:
             self.commit_barrier.parties += 1
 
     def expected_barrier_messages(self, node_id: int) -> int:
-        return max(1, self.clients_on_node[node_id])
+        # .get: a retiring node's commit process re-checks its barrier
+        # state after remove_node dropped its membership entry, while it
+        # drains toward the queue-closed exit.
+        return max(1, self.clients_on_node.get(node_id, 0))
 
     # -- removed-subtree bookkeeping -----------------------------------------------------
     @property

@@ -18,7 +18,7 @@ from typing import Any, Dict, Generator, List, Tuple
 
 from repro.dfs.inode import Inode
 from repro.dfs.namespace import parent_of, split_path
-from repro.sim.core import Event
+from repro.sim.core import Event, Interrupt
 
 __all__ = ["DFSClient"]
 
@@ -69,16 +69,23 @@ class DFSClient:
         return result
 
     # -- metadata operations -------------------------------------------------
-    def mkdir(self, path: str, mode: int = 0o755) -> Generator[Event, Any, Inode]:
-        record = yield from self._op(path, "mkdir", mode, self.uid, self.gid)
+    # ``token`` (optional) is an idempotency key for at-least-once retry
+    # of the mutation; see MetadataServer's commit-dedup token memory.
+    def mkdir(self, path: str, mode: int = 0o755,
+              token: Any = None) -> Generator[Event, Any, Inode]:
+        record = yield from self._op(path, "mkdir", mode, self.uid, self.gid,
+                                     token=token)
         return Inode.from_record(record)
 
-    def create(self, path: str, mode: int = 0o644) -> Generator[Event, Any, Inode]:
-        record = yield from self._op(path, "create", mode, self.uid, self.gid)
+    def create(self, path: str, mode: int = 0o644,
+               token: Any = None) -> Generator[Event, Any, Inode]:
+        record = yield from self._op(path, "create", mode, self.uid, self.gid,
+                                     token=token)
         return Inode.from_record(record)
 
-    def unlink(self, path: str) -> Generator[Event, Any, None]:
-        yield from self._op(path, "unlink", self.uid, self.gid)
+    def unlink(self, path: str,
+               token: Any = None) -> Generator[Event, Any, None]:
+        yield from self._op(path, "unlink", self.uid, self.gid, token=token)
 
     rm = unlink  # alias shared with the Pacon/IndexFS client protocols
 
@@ -127,6 +134,8 @@ class DFSClient:
         try:
             yield from self.getattr(path)
             return True
+        except Interrupt:
+            raise  # caller killed mid-probe (node crash), not "absent"
         except Exception:
             return False
 

@@ -38,6 +38,12 @@ class MetadataServer(Service):
     span_queue_category = "mds_queue"
     span_service_category = "mds_service"
 
+    #: Commit-dedup token memory (entries).  Tokens make the mutation RPCs
+    #: idempotent under at-least-once retry: a commit process that saw its
+    #: response lost (MDS crash after apply) replays the op with the same
+    #: token and gets the recorded result instead of a double apply.
+    COMMIT_TOKEN_CAPACITY = 65536
+
     def __init__(self, cluster: Cluster, node: Node, namespace: Namespace,
                  name: str = "mds", workers: Optional[int] = None):
         super().__init__(cluster, node, name,
@@ -46,6 +52,22 @@ class MetadataServer(Service):
         self._inode_cache: OrderedDict[str, None] = OrderedDict()
         self.inode_cache_hits = 0
         self.inode_cache_misses = 0
+        self._applied_tokens: OrderedDict[Any, Any] = OrderedDict()
+        self.token_replays = 0
+
+    def _token_hit(self, token: Any) -> bool:
+        if token is None or token not in self._applied_tokens:
+            return False
+        self._applied_tokens.move_to_end(token)
+        self.token_replays += 1
+        return True
+
+    def _record_token(self, token: Any, result: Any) -> None:
+        if token is None:
+            return
+        self._applied_tokens[token] = result
+        while len(self._applied_tokens) > self.COMMIT_TOKEN_CAPACITY:
+            self._applied_tokens.popitem(last=False)
 
     def _touch_inode_cache(self, path: str) -> float:
         """LRU access; returns the extra cost of a miss (0 on hit)."""
@@ -96,26 +118,41 @@ class MetadataServer(Service):
 
     # -- write path ------------------------------------------------------------
     def handle_mkdir(self, path: str, mode: int = 0o755, uid: int = 0,
-                     gid: int = 0,
-                     check_perms: bool = True) -> Generator[Event, Any, Dict]:
+                     gid: int = 0, check_perms: bool = True,
+                     token: Any = None) -> Generator[Event, Any, Dict]:
+        if self._token_hit(token):
+            yield self.env.timeout(self.costs.mds_lookup_service)
+            return self._applied_tokens[token]
         yield self.env.timeout(self.costs.mds_op_service)
         inode = self.namespace.mkdir(path, mode, uid, gid, now=self.env.now,
                                      check_perms=check_perms)
-        return inode.to_record()
+        record = inode.to_record()
+        self._record_token(token, record)
+        return record
 
     def handle_create(self, path: str, mode: int = 0o644, uid: int = 0,
-                      gid: int = 0,
-                      check_perms: bool = True) -> Generator[Event, Any, Dict]:
+                      gid: int = 0, check_perms: bool = True,
+                      token: Any = None) -> Generator[Event, Any, Dict]:
+        if self._token_hit(token):
+            yield self.env.timeout(self.costs.mds_lookup_service)
+            return self._applied_tokens[token]
         yield self.env.timeout(self.costs.mds_op_service)
         inode = self.namespace.create(path, mode, uid, gid, now=self.env.now,
                                       check_perms=check_perms)
-        return inode.to_record()
+        record = inode.to_record()
+        self._record_token(token, record)
+        return record
 
     def handle_unlink(self, path: str, uid: int = 0, gid: int = 0,
-                      check_perms: bool = True) -> Generator[Event, Any, None]:
+                      check_perms: bool = True,
+                      token: Any = None) -> Generator[Event, Any, None]:
+        if self._token_hit(token):
+            yield self.env.timeout(self.costs.mds_lookup_service)
+            return
         yield self.env.timeout(self.costs.mds_op_service)
         self.namespace.unlink(path, uid, gid, now=self.env.now,
                               check_perms=check_perms)
+        self._record_token(token, None)
 
     def handle_rmdir(self, path: str, uid: int = 0, gid: int = 0,
                      check_perms: bool = True,
@@ -161,6 +198,11 @@ class MetadataServer(Service):
         results: List[Tuple[str, Any]] = []
         first = True
         for op, path, kwargs in ops:
+            token = kwargs.get("token")
+            if self._token_hit(token):
+                yield self.env.timeout(self.costs.mds_lookup_service)
+                results.append(("ok", self._applied_tokens[token]))
+                continue
             yield self.env.timeout(self.costs.mds_op_service if first
                                    else discounted)
             first = False
@@ -169,15 +211,20 @@ class MetadataServer(Service):
                     inode = self.namespace.mkdir(
                         path, kwargs.get("mode", 0o755), uid, gid,
                         now=self.env.now, check_perms=True)
-                    results.append(("ok", inode.to_record()))
+                    record = inode.to_record()
+                    self._record_token(token, record)
+                    results.append(("ok", record))
                 elif op == "create":
                     inode = self.namespace.create(
                         path, kwargs.get("mode", 0o644), uid, gid,
                         now=self.env.now, check_perms=True)
-                    results.append(("ok", inode.to_record()))
+                    record = inode.to_record()
+                    self._record_token(token, record)
+                    results.append(("ok", record))
                 elif op == "unlink":
                     self.namespace.unlink(path, uid, gid, now=self.env.now,
                                           check_perms=True)
+                    self._record_token(token, None)
                     results.append(("ok", None))
                 else:
                     raise ValueError(f"commit_batch cannot apply {op!r}")

@@ -80,7 +80,36 @@ class MessageQueue:
             self.delivered += 1
             self._note_delivered()
         ev.add_callback(self._on_delivery)
+        ev._on_cancel = self._cancel_get
         return ev
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of subscribers currently blocked in :meth:`get`."""
+        return len(self._pending_gets)
+
+    def _cancel_get(self, ev: Event) -> bool:
+        """Cancel hook (see :func:`repro.sim.core.cancel_wait`).
+
+        Either unregisters a blocked getter, or — when the message was
+        already handed to the event but the getter will never resume —
+        pushes it back to the head of the queue so it is redelivered
+        instead of silently lost.  The pushed-back message gets a fresh
+        publish stamp at the cancel instant: its original stamp was
+        consumed at delivery, and re-stamping keeps the stamp deque
+        paired one-to-one with buffered messages (wait-time accounting
+        treats the redelivery as a new publish).
+        """
+        if ev in self._pending_gets:
+            self._pending_gets.remove(ev)
+            self._store._cancel_get(ev)
+            return True
+        if ev.triggered and not ev.processed and ev.exception is None:
+            self._store._items.appendleft(ev._value)
+            self._publish_times.appendleft(self.env.now)
+            self.delivered -= 1
+            return True
+        return False
 
     def get_batch(self, max_items: int) -> List[Any]:
         """Take up to ``max_items`` already-buffered messages, non-blocking.
@@ -148,6 +177,17 @@ class QueueGroup:
         q = MessageQueue(self.env, name=f"{self.name}[{node_key}]")
         self._queues[node_key] = q
         return q
+
+    def remove_node(self, node_key: Any) -> MessageQueue:
+        """Detach and return the queue for ``node_key``.
+
+        The queue is removed from the group *before* the caller closes it
+        so a region-wide broadcast never trips over a closed member.
+        """
+        try:
+            return self._queues.pop(node_key)
+        except KeyError:
+            raise KeyError(f"no queue for node {node_key!r}") from None
 
     def route(self, node_key: Any) -> MessageQueue:
         try:

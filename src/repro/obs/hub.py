@@ -124,6 +124,8 @@ class MetricsHub:
         region.tracer = self.tracer
         region.cluster.tracer = self.tracer
         region.cluster.network.tracer = self.tracer
+        # The network counts delivery-time drops (`net.dropped`) here.
+        region.cluster.network.hub = self
         self._regions.append(region)
         fresh: List[Tuple[str, Any]] = []
 
@@ -246,13 +248,16 @@ def attribution_rollup(tracer) -> Dict[str, Any]:
 
 def _region_snapshot(region) -> Dict[str, Any]:
     commit = {"committed": 0, "discarded": 0, "resubmissions": 0,
-              "coalesced": 0, "barriers_passed": 0}
+              "coalesced": 0, "barriers_passed": 0, "replays": 0,
+              "aborts": 0}
     for cp in region.commit_processes:
         commit["committed"] += cp.committed
         commit["discarded"] += cp.discarded
         commit["resubmissions"] += cp.resubmissions
         commit["coalesced"] += cp.coalesced
         commit["barriers_passed"] += cp.barriers_passed
+        commit["replays"] += cp.replays
+        commit["aborts"] += cp.aborts
     queues = {}
     for queue in region.queues.queues():
         queues[queue.name] = {"depth": len(queue),

@@ -27,10 +27,11 @@ from typing import Any, Dict, List
 from repro.obs.hub import SCHEMA
 
 __all__ = ["SCHEMA", "BENCH_SCHEMA", "validate", "validate_bench",
-           "validate_any", "main",
+           "validate_chaos", "validate_any", "main",
            "REQUIRED_TOP_LEVEL", "REQUIRED_COUNTERS",
            "REQUIRED_HISTOGRAMS", "REQUIRED_REGION_COMMIT_FIELDS",
            "REQUIRED_ATTRIBUTION_FIELDS",
+           "REQUIRED_CHAOS_COUNTERS", "REQUIRED_CHAOS_HISTOGRAMS",
            "REQUIRED_BENCH_TOP_LEVEL", "REQUIRED_BENCH_EXPERIMENT_FIELDS"]
 
 #: Version string of the benchmark snapshot document.
@@ -66,7 +67,19 @@ REQUIRED_HISTOGRAMS = ("commit.latency", "commit.batch_size")
 
 #: Per-region commit snapshot fields (``regions.*.commit``).
 REQUIRED_REGION_COMMIT_FIELDS = ("committed", "discarded", "resubmissions",
-                                 "coalesced", "barriers_passed")
+                                 "coalesced", "barriers_passed", "replays",
+                                 "aborts")
+
+#: Counters a hub-instrumented chaos run (``pacon-bench chaos``) must
+#: have produced: every fault emits inject/recover, and the
+#: delivery-time network semantics drop at least the crashed/partitioned
+#: round trips.  ``net.dropped`` is required structurally but may be 0
+#: for planned churn.
+REQUIRED_CHAOS_COUNTERS = ("chaos.injected", "chaos.recovered")
+
+#: Histograms a chaos run must have produced (one downtime observation
+#: per recovered fault).
+REQUIRED_CHAOS_HISTOGRAMS = ("chaos.downtime",)
 
 
 def validate(doc: Dict[str, Any]) -> List[str]:
@@ -130,6 +143,37 @@ def validate(doc: Dict[str, Any]) -> List[str]:
                         f" {field!r}")
     else:
         problems.append("'regions' is not an object")
+    return problems
+
+
+def validate_chaos(doc: Dict[str, Any]) -> List[str]:
+    """Extended contract for fault-injection runs (``pacon-bench chaos``).
+
+    Everything :func:`validate` requires, plus the ``chaos.*`` fault
+    lifecycle metrics: each injected fault must have recovered (the
+    engine drove the matching heal/restart), and every recovery recorded
+    a downtime observation.
+    """
+    problems = validate(doc)
+    counters = doc.get("counters", {})
+    if isinstance(counters, dict):
+        for name in REQUIRED_CHAOS_COUNTERS:
+            if name not in counters:
+                problems.append(f"missing chaos counter {name!r}")
+        injected = counters.get("chaos.injected")
+        recovered = counters.get("chaos.recovered")
+        if _is_number(injected) and not injected > 0:
+            problems.append("chaos.injected is 0 (no fault ever fired)")
+        if _is_number(injected) and _is_number(recovered) \
+                and injected != recovered:
+            problems.append(f"chaos.injected ({injected}) !="
+                            f" chaos.recovered ({recovered}):"
+                            " some fault never recovered")
+    histograms = doc.get("histograms", {})
+    if isinstance(histograms, dict):
+        for name in REQUIRED_CHAOS_HISTOGRAMS:
+            if name not in histograms:
+                problems.append(f"missing chaos histogram {name!r}")
     return problems
 
 
@@ -204,21 +248,29 @@ def validate_any(doc: Any) -> List[str]:
 
 
 def main(argv: List[str] = None) -> int:
-    """``python -m repro.obs.schema FILE [FILE...]`` — exit 1 on drift.
+    """``python -m repro.obs.schema [--chaos] FILE [...]`` — exit 1 on drift.
 
     Accepts both ``pacon.metrics/v2`` exports and ``pacon.bench/v1``
     snapshots, picking the contract from each file's ``schema`` field.
+    ``--chaos`` additionally holds metrics exports to the fault-injection
+    contract (:func:`validate_chaos`).
     """
     argv = sys.argv[1:] if argv is None else argv
+    chaos = "--chaos" in argv
+    argv = [a for a in argv if a != "--chaos"]
     if not argv:
-        print("usage: python -m repro.obs.schema METRICS_OR_BENCH_JSON"
-              " [...]", file=sys.stderr)
+        print("usage: python -m repro.obs.schema [--chaos]"
+              " METRICS_OR_BENCH_JSON [...]", file=sys.stderr)
         return 2
     status = 0
     for path in argv:
         with open(path) as fh:
             doc = json.load(fh)
-        problems = validate_any(doc)
+        if chaos and not (isinstance(doc, dict) and str(
+                doc.get("schema", "")).startswith("pacon.bench/")):
+            problems = validate_chaos(doc)
+        else:
+            problems = validate_any(doc)
         if problems:
             status = 1
             print(f"{path}: {len(problems)} schema problem(s)")

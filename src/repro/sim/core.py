@@ -39,6 +39,7 @@ __all__ = [
     "AnyOf",
     "Environment",
     "run_sync",
+    "cancel_wait",
 ]
 
 # A process body is a generator that yields Events and returns a value.
@@ -95,7 +96,8 @@ class Event:
     callbacks have run.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_exc", "_scheduled", "name")
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_scheduled", "name",
+                 "_on_cancel")
 
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
@@ -260,6 +262,17 @@ class Process(Event):
     def is_alive(self) -> bool:
         return not self.triggered
 
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process is currently blocked on (or ``None``).
+
+        Fault injection pairs this with :func:`cancel_wait`: before
+        interrupting a process, cancel the wait so the resource/store/
+        queue it was parked in reclaims the registration instead of
+        leaking a waiter slot.
+        """
+        return self._waiting_on
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
@@ -414,6 +427,29 @@ class Process(Event):
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.triggered else "alive"
         return f"<Process {self.label or self._generator!r} {state}>"
+
+
+def cancel_wait(event: Optional[Event]) -> bool:
+    """Undo the side effects of waiting on ``event``, if it knows how.
+
+    Synchronization primitives that *register* a waiter (resource queues,
+    store getters, barrier arrivals, message-queue gets) stash a cancel
+    hook on the events they hand out via the ``_on_cancel`` slot.  The
+    hook receives the event and must release whatever the registration
+    holds — remove the waiter entry, push a granted-but-undelivered slot
+    or item back, and so on — returning True if it reclaimed anything.
+
+    Plain events and timeouts have no hook (the slot is never written on
+    the hot path) and cancel to a no-op.  Callers interrupt the process
+    *after* cancelling its wait; the interrupt detaches the process from
+    the event, so a later spurious trigger is harmless.
+    """
+    if event is None:
+        return False
+    hook = getattr(event, "_on_cancel", None)
+    if hook is None:
+        return False
+    return bool(hook(event))
 
 
 def _detach_callback(children: Iterable[Event], winner: Optional[Event],

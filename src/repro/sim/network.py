@@ -14,14 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional
 
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, Interrupt
 from repro.sim.costs import CostModel
 from repro.sim.resources import Resource
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import NULL_TRACER
 
-__all__ = ["Node", "NetworkParams", "Network", "Service", "Cluster"]
+__all__ = ["Node", "NetworkParams", "Network", "Service", "Cluster",
+           "NodeDownError", "MessageDropped"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,11 @@ class Node:
         self.cpu = Resource(env, capacity=cores, name=f"{name}.cpu")
         self.nic = Resource(env, capacity=nic_channels, name=f"{name}.nic")
         self.alive = True
+        #: Bumped on every :meth:`fail` so in-flight messages addressed to
+        #: the previous incarnation are dropped at delivery even if the
+        #: node recovered in the meantime (a crash-recover cycle must not
+        #: resurrect messages sent to the dead incarnation).
+        self.incarnation = 0
 
     def compute(self, seconds: float) -> Generator[Event, Any, None]:
         """Occupy one core for ``seconds``."""
@@ -65,6 +71,7 @@ class Node:
     def fail(self) -> None:
         """Mark the node dead (failure-injection hook, §III.G)."""
         self.alive = False
+        self.incarnation += 1
 
     def recover(self) -> None:
         self.alive = True
@@ -78,6 +85,15 @@ class NodeDownError(ConnectionError):
     """Raised when a message is sent to or from a failed node."""
 
 
+class MessageDropped(NodeDownError):
+    """A message was dropped in flight (dead destination or partition).
+
+    Subclasses :class:`NodeDownError` so callers that already treat the
+    destination as unreachable handle mid-flight loss the same way; the
+    distinction is *when* the loss was detected (delivery, not send).
+    """
+
+
 class Network:
     """Uniform-fabric message transport between nodes."""
 
@@ -86,17 +102,73 @@ class Network:
         self.params = params
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Messages dropped at delivery time (dead/restarted destination
+        #: or an active partition cut) — the `net.dropped` metric.
+        self.dropped = 0
+        #: Active partition cuts: cut_id -> (frozenset_a, frozenset_b) of
+        #: node ids.  Empty dict on the hot path costs one truthiness test.
+        self._cuts: Dict[int, Any] = {}
+        self._next_cut_id = 0
         # Swapped in by MetricsHub.attach_region; transfers emit `network`
         # child spans when the driving process carries a span context.
         self.tracer = NULL_TRACER
+        # Optional MetricsHub (installed by attach_region) counting drops.
+        self.hub = None
+
+    # -- partitions ----------------------------------------------------
+    def partition(self, side_a, side_b) -> int:
+        """Install a partition cut between two node sets; returns cut id.
+
+        ``side_a``/``side_b`` are iterables of :class:`Node` or node ids.
+        Messages crossing the cut (either direction) are dropped at
+        delivery time until :meth:`heal` removes the cut.
+        """
+        ids_a = frozenset(n.node_id if isinstance(n, Node) else int(n)
+                          for n in side_a)
+        ids_b = frozenset(n.node_id if isinstance(n, Node) else int(n)
+                          for n in side_b)
+        if ids_a & ids_b:
+            raise ValueError(
+                f"partition sides overlap: {sorted(ids_a & ids_b)}")
+        cut_id = self._next_cut_id
+        self._next_cut_id += 1
+        self._cuts[cut_id] = (ids_a, ids_b)
+        return cut_id
+
+    def heal(self, cut_id: Optional[int] = None) -> None:
+        """Remove one partition cut (or all of them when id is None)."""
+        if cut_id is None:
+            self._cuts.clear()
+        else:
+            self._cuts.pop(cut_id)
+
+    def is_partitioned(self, src: Node, dst: Node) -> bool:
+        if not self._cuts:
+            return False
+        a, b = src.node_id, dst.node_id
+        for ids_a, ids_b in self._cuts.values():
+            if (a in ids_a and b in ids_b) or (a in ids_b and b in ids_a):
+                return True
+        return False
+
+    def note_dropped(self, why: str) -> None:
+        self.dropped += 1
+        if self.hub is not None:
+            self.hub.count("net.dropped")
 
     def transfer(self, src: Node, dst: Node,
                  nbytes: int) -> Generator[Event, Any, None]:
-        """Deliver ``nbytes`` from ``src`` to ``dst``; yields until done."""
+        """Deliver ``nbytes`` from ``src`` to ``dst``; yields until done.
+
+        Liveness is checked at *send* for the source only; the fate of the
+        destination is decided at delivery time (see ``_transfer_body``) —
+        a message to a node that fails mid-flight is dropped, not
+        delivered, and a send to an already-dead or partitioned
+        destination spends its network time before the drop surfaces
+        (the sender cannot know the far end is gone any sooner).
+        """
         if not src.alive:
             raise NodeDownError(f"source node {src.name} is down")
-        if not dst.alive:
-            raise NodeDownError(f"destination node {dst.name} is down")
         self.messages_sent += 1
         self.bytes_sent += nbytes
         tracer = self.tracer
@@ -121,17 +193,34 @@ class Network:
             # NIC traffic on the node (kernel TCP path).
             if p.local_loopback > 0:
                 yield from src.nic.use(p.local_loopback)
+            if not dst.alive:
+                self.note_dropped(f"{src.name}->{dst.name}")
+                raise MessageDropped(
+                    f"node {dst.name} died during loopback delivery")
             return
+        # Snapshot destination fate at send time: an already-dead or
+        # partitioned destination dooms the message, and the incarnation
+        # mark catches a fail()+recover() cycle completing mid-flight.
+        doomed = not dst.alive or self.is_partitioned(src, dst)
+        mark = dst.incarnation
         wire = nbytes / p.bandwidth
         # Sender NIC serializes the message onto the fabric.
         yield from src.nic.use(p.msg_overhead + wire)
         # Propagation.
         if p.latency > 0:
             yield self.env.timeout(p.latency)
+        if (doomed or not dst.alive or dst.incarnation != mark
+                or self.is_partitioned(src, dst)):
+            # Dropped on the wire: the receiver NIC never sees it.
+            self.note_dropped(f"{src.name}->{dst.name}")
+            raise MessageDropped(
+                f"message {src.name}->{dst.name} dropped in flight")
         # Receiver NIC processes the arrival; fan-in contention happens here.
         yield from dst.nic.use(p.msg_overhead)
-        if not dst.alive:
-            raise NodeDownError(f"destination node {dst.name} died in flight")
+        if not dst.alive or dst.incarnation != mark:
+            self.note_dropped(f"{src.name}->{dst.name}")
+            raise MessageDropped(
+                f"destination node {dst.name} died in flight")
 
 
 class Service:
@@ -184,23 +273,38 @@ class Service:
         parent = (tracer.current_context(self.env.active_process)
                   if tracer.enabled else None)
         yield from net.transfer(src, self.node, req_bytes)
+        mark = self.node.incarnation
         if parent is not None:
             qctx = tracer.child_context(parent)
             tracer.span_start(self.env.now, self.name, qctx,
                               self.span_queue_category, method)
             yield self.workers.acquire()
             tracer.span_end(self.env.now, self.name, qctx)
+        else:
+            yield self.workers.acquire()
+        if not self.node.alive or self.node.incarnation != mark:
+            # The service's node died while the request sat in the worker
+            # queue: the handler never runs and no response is sent.
+            self.workers.release()
+            net.note_dropped(f"{self.name}.{method}")
+            raise MessageDropped(
+                f"service {self.name} node {self.node.name} died while"
+                f" {method!r} was queued")
+        if parent is not None:
             sctx = tracer.child_context(parent)
             tracer.span_start(self.env.now, self.name, sctx,
                               self.span_service_category, method)
         else:
-            yield self.workers.acquire()
             sctx = None
         error: Optional[BaseException] = None
         result = None
         try:
             result = yield from handler(*args, **kwargs)
-        except NodeDownError:
+        except (NodeDownError, Interrupt):
+            # An Interrupt is the *caller* being killed mid-request (node
+            # crash), not a domain error: holding it for the response
+            # wire would let the dead-destination transfer replace it
+            # with MessageDropped, silently un-killing the caller.
             raise
         except Exception as exc:  # domain errors ride the response wire
             error = exc

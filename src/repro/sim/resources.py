@@ -80,6 +80,7 @@ class Resource:
         self._account()
         self.total_acquires += 1
         ev = Event(self.env, self._event_name)
+        ev._on_cancel = self._cancel_acquire
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             ev.succeed(self.env.now)  # value: grant time (== request time)
@@ -91,6 +92,24 @@ class Resource:
             if len(self._waiters) > self.peak_queue:
                 self.peak_queue = len(self._waiters)
         return ev
+
+    def _cancel_acquire(self, ev: Event) -> bool:
+        """Cancel hook: reclaim a queued or granted-but-unconsumed slot.
+
+        Three cases: still queued (remove the waiter), granted but the
+        waiting process never resumed (release the slot — otherwise it
+        leaks for the lifetime of the resource), or already consumed
+        (the holder is responsible for its own release; nothing to do).
+        """
+        try:
+            self._waiters.remove(ev)
+            return True
+        except ValueError:
+            pass
+        if ev.triggered and not ev.processed and ev.exception is None:
+            self.release()
+            return True
+        return False
 
     def _note_wait(self, requested_at: float) -> None:
         waited = self.env.now - requested_at
@@ -148,11 +167,29 @@ class Store:
     def get(self) -> Event:
         self.total_gets += 1
         ev = Event(self.env, self._event_name)
+        ev._on_cancel = self._cancel_get
         if self._items:
             ev.succeed(self._items.popleft())
         else:
             self._getters.append(ev)
         return ev
+
+    def _cancel_get(self, ev: Event) -> bool:
+        """Cancel hook: unregister a getter or push a granted item back.
+
+        An item handed to a getter that never resumes would be lost; it
+        goes back to the head of the queue so FIFO order is preserved for
+        the next get.
+        """
+        try:
+            self._getters.remove(ev)
+            return True
+        except ValueError:
+            pass
+        if ev.triggered and not ev.processed and ev.exception is None:
+            self._items.appendleft(ev._value)
+            return True
+        return False
 
     def peek(self) -> Any:
         """The oldest queued item without removing it; None when empty."""
@@ -238,6 +275,7 @@ class Barrier:
 
     def arrive(self) -> Event:
         ev = Event(self.env, self._event_name)
+        ev._on_cancel = self._cancel_arrival
         self._waiting.append(ev)
         if len(self._waiting) == self.parties:
             gen = self.generation
@@ -246,6 +284,19 @@ class Barrier:
             for w in waiting:
                 w.succeed(gen)
         return ev
+
+    def _cancel_arrival(self, ev: Event) -> bool:
+        """Cancel hook: withdraw an arrival that has not completed yet.
+
+        A crashed party must not hold the barrier hostage; removing its
+        arrival lets the remaining parties complete the generation.  An
+        arrival of an already-released generation needs no cleanup.
+        """
+        try:
+            self._waiting.remove(ev)
+            return True
+        except ValueError:
+            return False
 
     @property
     def n_waiting(self) -> int:
