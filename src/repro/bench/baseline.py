@@ -4,7 +4,10 @@
 snapshots.  Simulated metrics (rows and derived claims) come from a
 deterministic DES, so they compare **exactly** by default; per-metric
 relative tolerances can be granted with ``--tolerance METRIC=REL``
-(``METRIC`` may be an ``fnmatch`` glob).  Host metrics (wall-clock,
+(``METRIC`` may be an ``fnmatch`` glob).  The one built-in exception:
+quantile metrics derived from the streaming sketches carry a one-bucket
+relative tolerance (:data:`SKETCH_TOLERANCES`) because sketch
+percentiles are quantized to log-bucket boundaries.  Host metrics (wall-clock,
 peak RSS) are noisy by nature and only flag when the candidate grows
 beyond a relative threshold *and* an absolute floor.
 
@@ -27,10 +30,30 @@ __all__ = ["Metric", "Delta", "Comparison", "flatten_metrics",
            "compare_snapshots", "compare_files", "render_comparison",
            "load_history", "history_rows", "render_history", "sparkline",
            "SIMULATED", "HOST",
-           "DEFAULT_HOST_THRESHOLD", "WALL_CLOCK_FLOOR_S", "RSS_FLOOR_BYTES"]
+           "DEFAULT_HOST_THRESHOLD", "WALL_CLOCK_FLOOR_S", "RSS_FLOOR_BYTES",
+           "SKETCH_BUCKET_TOLERANCE", "SKETCH_TOLERANCES"]
 
 SIMULATED = "simulated"
 HOST = "host"
+
+#: Quantile metrics read off the streaming sketches are quantized to
+#: log-bucket boundaries (growth factor 1.05): a sample landing one
+#: bucket over — e.g. because an unrelated change shifted a latency by a
+#: hair — snaps the reported percentile by up to one bucket width, even
+#: though the distribution is effectively unchanged.  Compare therefore
+#: grants sketch-derived percentiles a built-in one-bucket relative
+#: tolerance; sketch *counts* stay exact (the DES is deterministic).
+#: Explicit ``--tolerance`` grants with a longer (more specific) pattern
+#: override these defaults.
+SKETCH_BUCKET_TOLERANCE = 0.05
+SKETCH_TOLERANCES: Dict[str, float] = {
+    "*.stale_p*": SKETCH_BUCKET_TOLERANCE,
+    "*.lag_p*": SKETCH_BUCKET_TOLERANCE,
+    "*.vis_commit_p*": SKETCH_BUCKET_TOLERANCE,
+    "*.vis_global_p*": SKETCH_BUCKET_TOLERANCE,
+    "*.derived.consistency.staleness_p99": SKETCH_BUCKET_TOLERANCE,
+    "*.derived.staleness_growth_vs_batch": SKETCH_BUCKET_TOLERANCE,
+}
 
 #: Relative growth of a host metric tolerated before flagging (50 %).
 DEFAULT_HOST_THRESHOLD = 0.5
@@ -170,7 +193,7 @@ def compare_snapshots(baseline: Dict[str, Any], candidate: Dict[str, Any],
         raise SnapshotError(
             f"cannot compare schema {a_schema!r} against {b_schema!r} —"
             " regenerate both snapshots with the same pacon-bench version")
-    tolerances = dict(tolerances or {})
+    tolerances = {**SKETCH_TOLERANCES, **(tolerances or {})}
     comp = Comparison(baseline_label=str(baseline.get("label")),
                       candidate_label=str(candidate.get("label")))
     for key in ("seed", "scale"):
@@ -325,8 +348,10 @@ def history_rows(docs: Sequence[Dict[str, Any]],
     """Per-metric trajectory rows across an ordered snapshot sequence.
 
     Default selection is the headline claims (``*.derived.*``) plus the
-    harness wall clock; pass an ``fnmatch`` glob to widen (e.g.
-    ``'fig07.*'`` or ``'*'``).
+    harness wall clock; this includes the consistency lens headline
+    ``staleness.derived.consistency.staleness_p99``, so staleness drift
+    across commits sparklines without any extra flag.  Pass an
+    ``fnmatch`` glob to widen (e.g. ``'fig07.*'`` or ``'*'``).
     """
     flattened = [flatten_metrics(doc) for doc in docs]
     names: List[str] = []

@@ -18,14 +18,14 @@ import time
 from typing import Any, List, Optional
 
 from repro.bench import ablations, fig01, fig02, fig07, fig08, fig09, \
-    fig10, fig11, fig12, latency, sensitivity, table1
+    fig10, fig11, fig12, latency, sensitivity, staleness, table1
 from repro.bench.report import ExperimentResult, write_markdown
 from repro.bench.systems import DEFAULT_SEED
 
 __all__ = ["run_all", "write_snapshot_file", "main", "DEFAULT_SEED"]
 
 DRIVERS = [fig01, fig02, table1, fig07, fig08, fig09, fig10, fig11, fig12,
-           latency, sensitivity]
+           latency, sensitivity, staleness]
 
 #: Simulated seconds between observability gauge samples when a bench run
 #: collects metrics.

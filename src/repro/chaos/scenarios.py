@@ -82,10 +82,21 @@ class ScenarioResult:
     dropped: int
     reference_span: float
     sim_time: float
+    #: Windowed SLO verdicts (``PolicyResult.to_doc()`` dicts) over the
+    #: staleness lens: exposure while the fault was live, and whether
+    #: staleness returned below bound after recovery.  None when the run
+    #: produced no fault window (or no samples at all).
+    slo_during: Optional[Dict[str, Any]] = None
+    slo_post: Optional[Dict[str, Any]] = None
+
+    @property
+    def slo_ok(self) -> bool:
+        """Post-recovery SLO held (during-fault is informational)."""
+        return self.slo_post is None or self.slo_post["verdict"] == "pass"
 
     @property
     def ok(self) -> bool:
-        return self.report.ok
+        return self.report.ok and self.slo_ok
 
     def summary(self) -> Dict[str, Any]:
         """Flat dict for JSON export (CLI / chaos bench snapshot)."""
@@ -102,6 +113,11 @@ class ScenarioResult:
             "net_dropped": self.dropped,
             "reference_span": self.reference_span,
             "sim_time": self.sim_time,
+            "slo": {
+                "ok": self.slo_ok,
+                "during_fault": self.slo_during,
+                "post_recovery": self.slo_post,
+            },
         }
 
 
@@ -276,9 +292,17 @@ def run_scenario(name: str, seed: int = DEFAULT_SEED,
         reference.dfs.namespace, reference.region.workspace)
     horizon = reference.env.now
 
-    # 2. Same seed, same workload — plus the fault schedule.
+    # 2. Same seed, same workload — plus the fault schedule.  The faulty
+    #    run always carries a hub: the staleness lens has a time axis
+    #    (the pending-age gauge) only while one is attached, and the
+    #    windowed SLO verdicts below need it.  Observability records but
+    #    never yields, so the simulated schedule is unchanged.
+    slo_hub = hub
+    if slo_hub is None:
+        from repro.obs.hub import MetricsHub
+        slo_hub = MetricsHub(sample_interval=pacing)
     world = build_world(seed, n_nodes=n_nodes,
-                        clients_per_node=clients_per_node, hub=hub)
+                        clients_per_node=clients_per_node, hub=slo_hub)
     schedule = _schedule_for(name, world, horizon)
     engine = ChaosEngine(world.deployment, world.region, schedule)
     _drive(world, engine, items=items, pacing=pacing, rounds=rounds)
@@ -288,6 +312,13 @@ def run_scenario(name: str, seed: int = DEFAULT_SEED,
         reference_entries=reference_entries,
         lost_ops=engine.lost_ops,
         require_identical=spec["require_identical"])
+    # The sampler self-exits when the commit queues close, which can be
+    # mid-drain; one explicit end-of-run sample pins the converged state
+    # so the post-recovery "staleness drained" verdict reads the truth.
+    for sampler in slo_hub.samplers:
+        sampler.sample_once()
+    slo_during, slo_post = _slo_verdicts(slo_hub, engine, horizon,
+                                         world.env.now)
     return ScenarioResult(
         name=name, seed=seed, report=report,
         schedule_signature=schedule.signature(),
@@ -295,7 +326,39 @@ def run_scenario(name: str, seed: int = DEFAULT_SEED,
         lost_ops=engine.lost_ops,
         replays=sum(cp.replays for cp in world.region.commit_processes),
         dropped=world.cluster.network.dropped,
-        reference_span=horizon, sim_time=world.env.now)
+        reference_span=horizon, sim_time=world.env.now,
+        slo_during=slo_during, slo_post=slo_post)
+
+
+def _slo_verdicts(hub, engine, horizon: float, end: float,
+                  ) -> Tuple[Optional[Dict], Optional[Dict]]:
+    """During-fault and post-recovery staleness verdicts for one run.
+
+    During the fault window (first injection to last recovery) staleness
+    exposure may legitimately reach the outage length — the bound is
+    fault-span plus drain slack, so a pass means "staleness never
+    exceeded what the outage itself explains".  Post-recovery the lens
+    must show convergence: the *final* pending-age sample of the
+    recovery window has to return below a small fraction of the run.
+    """
+    from repro.obs.slo import Policy, StalenessObjective
+
+    injected = [r.injected_at for r in engine.records
+                if r.injected_at is not None]
+    recovered = [r.recovered_at for r in engine.records
+                 if r.recovered_at is not None]
+    if not injected or not recovered:
+        return None, None
+    doc = hub.export()
+    t0, t1 = min(injected), max(recovered)
+    fault_span = max(0.0, t1 - t0)
+    during = Policy("chaos-during", [StalenessObjective(
+        "staleness-exposure", bound=fault_span + 0.5 * horizon,
+        mode="max")])
+    post = Policy("chaos-post", [StalenessObjective(
+        "staleness-drained", bound=0.05 * horizon, mode="final")])
+    return (during.evaluate(doc, (t0, t1)).to_doc(),
+            post.evaluate(doc, (t1, end)).to_doc())
 
 
 def run_all(seed: int = DEFAULT_SEED, hub: Optional[Any] = None,

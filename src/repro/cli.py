@@ -56,7 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name",
                         choices=("fig01", "fig02", "table1", "fig07",
                                  "fig08", "fig09", "fig10", "fig11",
-                                 "fig12", "latency", "sensitivity"))
+                                 "fig12", "latency", "sensitivity",
+                                 "staleness"))
     figure.add_argument("--scale", choices=("smoke", "ci", "paper"),
                         default="ci")
     figure.add_argument("--seed", type=int, default=DEFAULT_SEED,
@@ -158,6 +159,20 @@ def build_parser() -> argparse.ArgumentParser:
     _observed_workload_args(profile)
     profile.add_argument("--top", type=int, default=10,
                          help="how many slowest ops to list")
+
+    slo = sub.add_parser(
+        "slo", help="evaluate SLO objectives against an exported"
+                    " pacon.metrics JSON document")
+    slo.add_argument("metrics", help="metrics JSON (pacon-bench stats /"
+                                     " figure --metrics-out)")
+    slo.add_argument("--policy", default="default",
+                     help="named policy (default, chaos)")
+    slo.add_argument("--window", nargs=2, type=float, default=None,
+                     metavar=("T0", "T1"),
+                     help="evaluate only series-based objectives inside"
+                          " this simulated-time window")
+    slo.add_argument("--json", action="store_true", dest="as_json",
+                     help="machine-readable result instead of a table")
 
     chaos = sub.add_parser(
         "chaos", help="inject faults into a live Pacon run and check the"
@@ -405,6 +420,25 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_slo(args) -> int:
+    import json
+
+    from repro.obs.slo import evaluate_file, format_result, get_policy
+
+    try:
+        policy = get_policy(args.policy)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    window = tuple(args.window) if args.window else None
+    result = evaluate_file(args.metrics, policy=policy, window=window)
+    if args.as_json:
+        print(json.dumps(result.to_doc(), indent=2, sort_keys=True))
+    else:
+        print(format_result(result))
+    return 0 if result.passed else 1
+
+
 def _cmd_chaos(args) -> int:
     import json
 
@@ -412,9 +446,15 @@ def _cmd_chaos(args) -> int:
     from repro.obs.hub import MetricsHub
 
     names = SCENARIOS if args.scenario == "all" else (args.scenario,)
-    hub = MetricsHub() if args.metrics_out else None
     results = []
+    hub = None
     for name in names:
+        # Fresh hub per scenario: each scenario is its own simulated
+        # world starting at t=0, so sharing one hub would interleave
+        # their gauge series and corrupt the windowed SLO verdicts.
+        # The metrics artifact carries the last scenario's run.
+        hub = MetricsHub(sample_interval=200e-6) if args.metrics_out \
+            else None
         results.append(run_scenario(
             name, seed=args.seed, hub=hub, items=args.items,
             n_nodes=args.nodes, clients_per_node=args.clients_per_node))
@@ -432,6 +472,15 @@ def _cmd_chaos(args) -> int:
                 print(f"  fault {rec.kind}[{rec.target}]"
                       f" t={rec.injected_at:.6f}->{rec.recovered_at:.6f}"
                       f" lost={rec.lost_ops} {rec.detail}")
+            for label, doc in (("during-fault", r.slo_during),
+                               ("post-recovery", r.slo_post)):
+                if doc is None:
+                    continue
+                for obj in doc["objectives"]:
+                    mark = "ok" if obj["ok"] else "VIOLATED"
+                    print(f"  slo {label} [{mark}] {obj['name']}:"
+                          f" {obj['measured']:.6g} <="
+                          f" {obj['target']:.6g} ({obj['metric']})")
     if hub is not None:
         with open(args.metrics_out, "w") as fh:
             fh.write(hub.to_json(indent=2))
@@ -445,7 +494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "figure": _cmd_figure, "all": _cmd_all,
                 "compare": _cmd_compare, "history": _cmd_history,
                 "stats": _cmd_stats, "trace": _cmd_trace,
-                "profile": _cmd_profile, "chaos": _cmd_chaos}
+                "profile": _cmd_profile, "chaos": _cmd_chaos,
+                "slo": _cmd_slo}
     return handlers[args.command](args)
 
 

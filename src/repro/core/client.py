@@ -76,6 +76,11 @@ def _traced(fn):
 class PaconClient:
     """Per-process handle bound to a node inside a consistent region."""
 
+    #: Logical clients this handle stands for; AggregateClient overrides.
+    #: Metric weights use this so hub counters/distributions agree between
+    #: faithful and aggregate runs at matched logical scale.
+    multiplier = 1
+
     def __init__(self, region: ConsistentRegion, node, trace: bool = False):
         self.region = region
         self.node = node
@@ -162,7 +167,8 @@ class PaconClient:
                 tracer.emit(t1, actor, "op.end", detail, op_id,
                             span_id=ctx.span_id)
             if hub.enabled:
-                hub.observe_op(op, t1 - t0, ok=outcome == "ok")
+                hub.observe_op(op, t1 - t0, ok=outcome == "ok",
+                               weight=self.multiplier)
 
     def _stage_start(self, category: str, name: str = ""):
         """Open a child stage span under the current op; None when off."""
@@ -258,7 +264,8 @@ class PaconClient:
         msg = OpMessage(op=op, path=path, mode=mode, uid=self.uid,
                         gid=self.gid, timestamp=self.env.now,
                         epoch=self.region.client_epoch,
-                        client_id=self.client_id, gen_ino=gen_ino)
+                        client_id=self.client_id, gen_ino=gen_ino,
+                        weight=self.multiplier)
         tracer = self.region.tracer
         if tracer.enabled:
             parent = tracer.current_context(self.env.active_process)
@@ -278,6 +285,10 @@ class PaconClient:
         self.region.ops_submitted += 1
         if self.region.hub.enabled:
             self.region.hub.count("commit.published")
+            # Version-lag ledger: the MDS copy of ``path`` now lags the
+            # cache by one more mutation, until the commit process
+            # resolves this message (commit/discard/coalesce/abort).
+            self.region.note_op_pending(path)
 
     def _parent_check(self, path: str) -> Generator[Event, Any, None]:
         """Verify the parent directory exists (cache first, DFS on miss).
@@ -289,6 +300,7 @@ class PaconClient:
         if parent == self.region.workspace:
             return  # the workspace root always exists (created at init)
         if parent in self._parent_memo:
+            self._observe_read("private", "lookup", parent)
             return  # verified earlier by this client
         record = yield from self.region.cache.get(self.node, parent)
         if record is not None:
@@ -297,6 +309,7 @@ class PaconClient:
                 raise FileNotFound(parent)
             if record["ftype"] != FileType.DIRECTORY.value:
                 raise NotADirectory(parent)
+            self._observe_read("shared", "lookup", parent, record)
             self._parent_memo.add(parent)
             return
         self.cache_misses += 1
@@ -308,9 +321,49 @@ class PaconClient:
             raise FileNotFound(parent)
         if not inode.is_dir:
             raise NotADirectory(parent)
+        self._observe_read("mds", "lookup", parent)
         record = new_record(inode.to_record(), committed=True)
         yield from self._cache_fill(parent, record)
         self._parent_memo.add(parent)
+
+    def _observe_read(self, tier: str, op: str, path: str,
+                      record: Optional[Dict] = None,
+                      region: Optional[ConsistentRegion] = None) -> None:
+        """Record staleness-at-read for one metadata read (hub-gated).
+
+        ``tier`` is where the read was served: ``private`` (this client's
+        parent memo), ``shared`` (the region's distributed cache), or
+        ``mds`` (DFS fallthrough — authoritative by definition).  Age is
+        how long the MDS copy has lagged the served value (time since the
+        served record's last un-committed mutation); lag is the number of
+        published-but-unresolved mutations for the path.  Zero-cost when
+        no hub is attached: one ``enabled`` read, nothing allocated.
+        """
+        hub = self.region.hub
+        if not hub.enabled:
+            return
+        region = region or self.region
+        if tier == "mds" or record is None:
+            # Served authoritatively (or from a bare existence memo with
+            # no record to compare): age 0 by definition; the memo case
+            # still reports the path's pending-mutation lag.
+            lag = 0 if tier == "mds" else region.pending_mutations(path)
+            hub.observe_staleness(tier, op, 0.0, lag, self.multiplier)
+            return
+        lag = region.pending_mutations(path)
+        if record.get("committed") and lag == 0:
+            age = 0.0
+            # A committed record whose authoritative copy is gone means
+            # the backup lost it (crash past the commit): count, don't age.
+            namespace = getattr(region.dfs, "namespace", None)
+            if namespace is not None and \
+                    namespace.commit_stamp(path) is None:
+                hub.count("consistency.orphan_reads", self.multiplier)
+        else:
+            # The cache (primary copy) is ahead of the MDS: the backup
+            # has lagged since the record's last mutation.
+            age = self.env.now - record.get("mtime", self.env.now)
+        hub.observe_staleness(tier, op, age, lag, self.multiplier)
 
     def _cache_fill(self, path: str,
                     record: Dict) -> Generator[Event, Any, None]:
@@ -465,12 +518,15 @@ class PaconClient:
             self.cache_hits += 1
             if record.get("deleted"):
                 raise FileNotFound(path)
+            self._observe_read("shared", "getattr", path, record,
+                               region=target)
             self._note("getattr", "get", "none", "none")
             return Inode.from_record(record)
         self.cache_misses += 1
         # Miss: synchronously load from the DFS into the cache (Table I:
         # "sync (miss)", commit "indep. (miss)").
         inode = yield from self.dfs_client.getattr(path)  # may raise ENOENT
+        self._observe_read("mds", "getattr", path, region=target)
         if target is self.region:
             record = new_record(inode.to_record(), committed=True)
             yield from self._cache_fill(path, record)
@@ -756,6 +812,7 @@ class PaconClient:
         if record is None:
             self.cache_misses += 1
             n = yield from self.dfs_client.read(path, offset, size)
+            self._observe_read("mds", "read", path, region=target)
             self._note("read", "none", "sync", "none")
             return b"\x00" * n
         self.cache_hits += 1
@@ -763,6 +820,7 @@ class PaconClient:
             raise FileNotFound(path)
         if record["ftype"] == FileType.DIRECTORY.value:
             raise IsADirectory(path)
+        self._observe_read("shared", "read", path, record, region=target)
         if record.get("large"):
             n = yield from self.dfs_client.read(path, offset, size)
             self._note("read", "get", "sync", "none")

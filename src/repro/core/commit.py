@@ -85,6 +85,10 @@ class OpMessage:
     #: DFS/MDS spans under it.  -1 when tracing is off.
     op_id: int = -1
     span_id: int = -1
+    #: Logical operations this message stands for (the publishing
+    #: client's ``multiplier``); consistency metrics weight by it so
+    #: aggregate and faithful runs agree at matched logical scale.
+    weight: int = 1
 
     def __post_init__(self) -> None:
         if self.op not in INDEPENDENT_OPS:
@@ -146,6 +150,12 @@ class CommitProcess:
         #: Oldest publish timestamp among ops drained but not yet resolved
         #: (the removed-subtree pruner must see them as outstanding).
         self._in_flight_oldest: Optional[float] = None
+        #: Ledger shadow of drained-but-unresolved ops, maintained only
+        #: while a hub is attached: on a crash, exactly these (plus
+        #: ``_pending``/``_future``) are the published mutations that will
+        #: never resolve, and the region's version-lag ledger must be
+        #: reconciled for them or post-fault staleness never drains.
+        self._in_flight_msgs: List[OpMessage] = []
         #: Set by failure injection; the interrupt that actually stops the
         #: loop is delivered on the next simulation step, so recovery code
         #: keys off this flag rather than the process's alive state.
@@ -191,6 +201,7 @@ class CommitProcess:
             "future": sum(len(v) for v in self._future.values()),
         }
         counts["total"] = sum(counts.values())
+        self._resolve_lost_ledger()
         self._pending.clear()
         self._future.clear()
         self._barrier_counts.clear()
@@ -221,6 +232,39 @@ class CommitProcess:
                     oldest = ts
         return oldest
 
+    # -- version-lag ledger shadow (hub-gated) --------------------------------
+    def _ledger_track(self, ops: List[OpMessage]) -> None:
+        """Note drained ops as unresolved (only while a hub is attached)."""
+        if self.region.hub.enabled:
+            self._in_flight_msgs.extend(ops)
+
+    def _ledger_untrack(self, op: OpMessage) -> None:
+        if self._in_flight_msgs:
+            try:
+                self._in_flight_msgs.remove(op)
+            except ValueError:
+                pass
+
+    def _resolve_ledger(self, op: OpMessage) -> None:
+        """The op left the pipeline (committed/discarded/coalesced)."""
+        self._ledger_untrack(op)
+        if self.region.hub.enabled:
+            self.region.note_op_resolved(op.path)
+
+    def _resolve_lost_ledger(self) -> None:
+        """Crash path: every unresolved op is lost — reconcile the ledger
+        exactly once per op or post-fault version lag never drains."""
+        if self.region.hub.enabled:
+            for op in self._in_flight_msgs:
+                self.region.note_op_resolved(op.path)
+            for op in self._pending:
+                self.region.note_op_resolved(op.path)
+            for msgs in self._future.values():
+                for msg in msgs:
+                    if isinstance(msg, OpMessage):
+                        self.region.note_op_resolved(msg.path)
+        self._in_flight_msgs.clear()
+
     # -- main loop -----------------------------------------------------------
     def run(self) -> Generator[Event, Any, None]:
         """Commit loop; dies cleanly (dropping state) on node failure."""
@@ -230,7 +274,10 @@ class CommitProcess:
             yield from self._loop()
         except Interrupt:
             # Node crash (§III.G): whatever was queued or in flight here is
-            # lost; isolation means only this region is affected.
+            # lost; isolation means only this region is affected.  After an
+            # abort() the lists below are already empty, so the ledger
+            # reconciliation cannot double-resolve.
+            self._resolve_lost_ledger()
             self._pending.clear()
             self._future.clear()
             self._barrier_counts.clear()
@@ -315,6 +362,7 @@ class CommitProcess:
     def _commit_one(self, op: OpMessage) -> Generator[Event, Any, None]:
         """Commit a single op with in-flight accounting around the attempt."""
         self._in_flight += 1
+        self._ledger_track([op])
         previous_oldest = self._in_flight_oldest
         if previous_oldest is None or op.timestamp < previous_oldest:
             self._in_flight_oldest = op.timestamp
@@ -342,6 +390,7 @@ class CommitProcess:
         """
         held = [m for m in msgs if not isinstance(m, BarrierMessage)]
         self._in_flight += len(held)
+        self._ledger_track(held)
         previous_oldest = self._in_flight_oldest
         if held:
             oldest = min(m.timestamp for m in held)
@@ -365,6 +414,7 @@ class CommitProcess:
                         self._barrier_counts.get(msg.epoch, 0) + 1
                 elif msg.epoch > self.current_epoch:
                     self._future.setdefault(msg.epoch, []).append(msg)
+                    self._ledger_untrack(msg)  # _future is scanned on crash
                     self._in_flight -= 1
                     outstanding -= 1
                 else:
@@ -428,6 +478,8 @@ class CommitProcess:
                 alive[j] = None
                 del creations[(op.path, op.gen_ino)]
                 self.coalesced += 2
+                self._resolve_ledger(ops[j])
+                self._resolve_ledger(op)
                 self.region.tracer.emit(
                     self.env.now, f"commit:{self.node.name}", "coalesce",
                     f"create+rm {op.path}")
@@ -525,6 +577,7 @@ class CommitProcess:
         """
         op.replays += 1
         self.replays += 1
+        self._ledger_untrack(op)  # still pending; _pending is crash-scanned
         if self.region.hub.enabled:
             self.region.hub.count("commit.replays")
         self._pending.append(op)
@@ -635,10 +688,14 @@ class CommitProcess:
                                 "commit", f"{op.op} {op.path}",
                                 op_id=op.op_id if op.op_id >= 0 else None)
         hub = self.region.hub
+        self._resolve_ledger(op)
         if hub.enabled:
             # Publish→commit latency: OpMessage.timestamp is stamped when
             # the client pushes the message into its commit queue.
             hub.observe_commit(op.op, self.env.now - op.timestamp)
+            hub.observe_visibility("committed", op.op,
+                                   self.env.now - op.timestamp,
+                                   weight=op.weight)
             if op.retries > 0:
                 hub.observe("commit.retries_to_commit", op.retries)
         try:
@@ -651,9 +708,17 @@ class CommitProcess:
             # the next mutation of the name.
             if hub.enabled:
                 hub.count("commit.postcommit_skipped")
+        else:
+            # Globally visible: the primary (cache) copy now agrees with
+            # the committed DFS copy — later reads anywhere see the commit.
+            if hub.enabled:
+                hub.observe_visibility("global", op.op,
+                                       self.env.now - op.timestamp,
+                                       weight=op.weight)
 
     def _discard(self, op: OpMessage, orphan: bool = False) -> None:
         self.discarded += 1
+        self._resolve_ledger(op)
         self._close_queue_span(op)
         label = f"{op.op} {op.path}"
         self.region.tracer.emit(self.env.now, f"commit:{self.node.name}",
@@ -666,6 +731,7 @@ class CommitProcess:
     def _resubmit(self, op: OpMessage) -> Generator[Event, Any, None]:
         op.retries += 1
         self.resubmissions += 1
+        self._ledger_untrack(op)  # still pending; _pending is crash-scanned
         if self.region.hub.enabled:
             self.region.hub.count("commit.resubmissions")
         if op.retries > self.MAX_RETRIES:

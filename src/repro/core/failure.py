@@ -65,8 +65,13 @@ def fail_node(region, node) -> FailureReport:
         if cp.node is node:
             lost_ops += cp.abort(reason="node-failure")["total"]
     queue = region.queues.route(node.node_id)
-    lost_ops += sum(1 for msg in queue.drain()
-                    if isinstance(msg, OpMessage))
+    for msg in queue.drain():
+        if isinstance(msg, OpMessage):
+            lost_ops += 1
+            if region.hub.enabled:
+                # Reconcile the version-lag ledger: this published mutation
+                # will never commit, so it must stop counting as pending.
+                region.note_op_resolved(msg.path)
     return FailureReport(
         node_name=node.name,
         region_name=region.name,

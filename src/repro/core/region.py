@@ -106,6 +106,11 @@ class ConsistentRegion:
         self.ops_submitted = 0
         self.ops_committed = 0
         self.barrier_epochs_completed = 0
+        # Version-lag ledger: per-path count of published-but-unresolved
+        # mutations (resolved = committed, discarded, or coalesced away).
+        # Maintained only while a hub is attached (call sites guard on
+        # ``hub.enabled``); feeds staleness-at-read version lag.
+        self._pending_mutations: Dict[str, int] = {}
 
     def alloc_provisional_ino(self) -> int:
         """Region-unique ino for entries that only exist in the cache yet."""
@@ -336,6 +341,29 @@ class ConsistentRegion:
             if removed_at is not None and timestamp <= removed_at:
                 return True
         return False
+
+    # -- version-lag ledger (observability; hub-gated at call sites) ---------
+    def note_op_pending(self, path: str) -> None:
+        """A mutation for ``path`` was published into a commit queue."""
+        self._pending_mutations[path] = \
+            self._pending_mutations.get(path, 0) + 1
+
+    def note_op_resolved(self, path: str) -> None:
+        """A published mutation for ``path`` left the pipeline (committed,
+        discarded, coalesced, or lost to an abort)."""
+        n = self._pending_mutations.get(path, 0)
+        if n <= 1:
+            self._pending_mutations.pop(path, None)
+        else:
+            self._pending_mutations[path] = n - 1
+
+    def pending_mutations(self, path: str) -> int:
+        """Published-but-unresolved mutation count for ``path`` (the
+        version lag a read of ``path`` observes vs. the MDS copy)."""
+        return self._pending_mutations.get(path, 0)
+
+    def total_pending_mutations(self) -> int:
+        return sum(self._pending_mutations.values())
 
     def oldest_outstanding_op_timestamp(self) -> Optional[float]:
         """Publish timestamp of the oldest operation still anywhere in the

@@ -55,6 +55,15 @@ class MetadataServer(Service):
         self._applied_tokens: OrderedDict[Any, Any] = OrderedDict()
         self.token_replays = 0
 
+    def commit_stamp(self, path: str) -> Optional[Tuple[int, float]]:
+        """(commit generation, commit sim-time) of the authoritative copy.
+
+        Zero-cost observability peek (no simulated time, no RPC, no
+        counter bumps) used by the staleness lens to compare served cache
+        records against the MDS copy; None if the path is not committed.
+        """
+        return self.namespace.commit_stamp(path)
+
     def _token_hit(self, token: Any) -> bool:
         if token is None or token not in self._applied_tokens:
             return False

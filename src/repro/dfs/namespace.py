@@ -90,12 +90,17 @@ class Namespace:
         self._inodes: Dict[int, Inode] = {}
         self._children: Dict[int, Dict[str, int]] = {}
         self._next_ino = ROOT_INO
-        root = self._alloc(FileType.DIRECTORY, mode=root_mode, uid=0, gid=0,
-                           now=0.0)
-        assert root.ino == ROOT_INO
         # op counters (observability; the MDS exports these)
         self.lookups = 0
         self.mutations = 0
+        # Commit stamps: ino -> (commit generation, commit sim-time) of
+        # the last authoritative mutation touching that inode.  A side
+        # table (never part of inode records or cache values) so enabling
+        # the staleness lens cannot change record sizes or eviction.
+        self._stamps: Dict[int, Tuple[int, float]] = {}
+        root = self._alloc(FileType.DIRECTORY, mode=root_mode, uid=0, gid=0,
+                           now=0.0)
+        assert root.ino == ROOT_INO
 
     # -- allocation ---------------------------------------------------------
     def _alloc(self, ftype: FileType, mode: int, uid: int, gid: int,
@@ -107,6 +112,10 @@ class Namespace:
         self._inodes[ino] = inode
         if ftype is FileType.DIRECTORY:
             self._children[ino] = {}
+        # Restored subtrees re-alloc every inode, so stamping here keeps
+        # checkpoint recovery covered; mutation methods re-stamp with the
+        # post-increment generation.
+        self._stamps[ino] = (self.mutations, now)
         return inode
 
     # -- traversal ------------------------------------------------------------
@@ -164,6 +173,29 @@ class Namespace:
         """Total live inodes, excluding the root."""
         return len(self._inodes) - 1
 
+    def commit_stamp(self, path: str) -> Optional[Tuple[int, float]]:
+        """(commit generation, commit sim-time) of ``path``'s inode.
+
+        Zero-cost observability peek: walks the child maps directly
+        (no permission checks, no ``lookups`` counter bump — this query
+        must never perturb the counters an instrumented run exports).
+        Returns None when the path does not exist authoritatively.
+        """
+        try:
+            parts = split_path(path)
+        except InvalidPath:
+            return None
+        ino = ROOT_INO
+        for name in parts:
+            children = self._children.get(ino)
+            if children is None:
+                return None
+            child = children.get(name)
+            if child is None:
+                return None
+            ino = child
+        return self._stamps.get(ino)
+
     def walk(self, path: str = "/") -> Iterator[Tuple[str, Inode]]:
         """Depth-first iteration of (path, inode) under ``path``, inclusive."""
         start = self._resolve(path, 0, 0, check_perms=False)
@@ -189,6 +221,7 @@ class Namespace:
         self._children[parent.ino][name] = inode.ino
         parent.mtime = now
         self.mutations += 1
+        self._stamps[inode.ino] = (self.mutations, now)
         return inode.copy()
 
     def create(self, path: str, mode: int = 0o644, uid: int = 0, gid: int = 0,
@@ -202,6 +235,7 @@ class Namespace:
         self._children[parent.ino][name] = inode.ino
         parent.mtime = now
         self.mutations += 1
+        self._stamps[inode.ino] = (self.mutations, now)
         return inode.copy()
 
     def unlink(self, path: str, uid: int = 0, gid: int = 0, now: float = 0.0,
@@ -216,6 +250,7 @@ class Namespace:
             raise IsADirectory(path)
         del self._children[parent.ino][name]
         del self._inodes[child_ino]
+        self._stamps.pop(child_ino, None)
         parent.mtime = now
         self.mutations += 1
 
@@ -251,6 +286,7 @@ class Namespace:
                 removed += self._drop_subtree(child_ino)
             del self._children[ino]
         del self._inodes[ino]
+        self._stamps.pop(ino, None)
         return removed
 
     def setattr(self, path: str, uid: int = 0, gid: int = 0,
@@ -273,6 +309,7 @@ class Namespace:
             inode.gid = new_gid
         inode.mtime = now
         self.mutations += 1
+        self._stamps[inode.ino] = (self.mutations, now)
         return inode.copy()
 
     def rename(self, src: str, dst: str, uid: int = 0, gid: int = 0,
@@ -294,6 +331,7 @@ class Namespace:
         src_parent.mtime = now
         dst_parent.mtime = now
         self.mutations += 1
+        self._stamps[moving_ino] = (self.mutations, now)
 
     def _check_parent_write(self, parent: Inode, path: str, uid: int,
                             gid: int, check_perms: bool) -> None:

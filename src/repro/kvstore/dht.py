@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, Generic, List, Sequence, TypeVar
+from typing import Dict, Generic, List, Optional, Sequence, TypeVar
 
 __all__ = ["ConsistentHashRing", "HashPartitioner", "stable_hash64"]
 
@@ -35,6 +35,10 @@ class ConsistentHashRing(Generic[N]):
         self._ring: List[int] = []          # sorted vnode hashes
         self._owners: Dict[int, N] = {}     # vnode hash -> member
         self._members: List[N] = []
+        # Per-member lookup counts, opt-in (None = off, the default, so
+        # the placement hot path stays a hash + bisect).  Keyed by the
+        # member's stable string identity for export-ready snapshots.
+        self._lookup_counts: Optional[Dict[str, int]] = None
 
     # -- membership --------------------------------------------------------
     def __len__(self) -> int:
@@ -72,7 +76,22 @@ class ConsistentHashRing(Generic[N]):
         idx = bisect.bisect_right(self._ring, h)
         if idx == len(self._ring):
             idx = 0
-        return self._owners[self._ring[idx]]
+        owner = self._owners[self._ring[idx]]
+        if self._lookup_counts is not None:
+            label = _member_key(owner)
+            self._lookup_counts[label] = \
+                self._lookup_counts.get(label, 0) + 1
+        return owner
+
+    # -- lookup statistics (observability; see MetricsHub.attach_region) ----
+    def enable_lookup_stats(self) -> None:
+        """Start counting which member serves each lookup (idempotent)."""
+        if self._lookup_counts is None:
+            self._lookup_counts = {}
+
+    def lookup_counts(self) -> Dict[str, int]:
+        """Per-member lookup counts since enabling; {} when disabled."""
+        return dict(self._lookup_counts or {})
 
     def lookup_n(self, key: str, n: int) -> List[N]:
         """First ``n`` distinct members clockwise from the key's position."""

@@ -28,7 +28,11 @@ from repro.sim.trace import NULL_TRACER, Tracer
 
 __all__ = ["MetricsHub", "NULL_HUB", "attribution_rollup"]
 
-SCHEMA = "pacon.metrics/v2"
+SCHEMA = "pacon.metrics/v3"
+
+#: Previous schema version; v3 is additive (``consistency`` + ``slo``
+#: sections), so v2 consumers can read a v3 document unchanged.
+SCHEMA_V2 = "pacon.metrics/v2"
 
 
 class MetricsHub:
@@ -54,21 +58,60 @@ class MetricsHub:
         self._resource_names: set = set()
 
     # -- recording (hot paths guard on .enabled before calling) ------------
-    def observe_op(self, op: str, latency: float, ok: bool = True) -> None:
-        """One completed client operation with its simulated latency."""
-        self.stats.histogram(f"client.op.{op}.latency").observe(latency)
-        self.stats.counter("client.ops").inc()
+    def observe_op(self, op: str, latency: float, ok: bool = True,
+                   weight: int = 1) -> None:
+        """One completed client operation with its simulated latency.
+
+        ``weight`` is the number of logical clients the observation stands
+        for (``AggregateClient.multiplier``), so op counters and latency
+        distributions agree between faithful and aggregate runs at
+        matched scale.
+        """
+        self.stats.sketch(f"client.op.{op}.latency").observe(latency,
+                                                             weight)
+        self.stats.counter("client.ops").inc(weight)
         if not ok:
-            self.stats.counter(f"client.op.{op}.errors").inc()
+            self.stats.counter(f"client.op.{op}.errors").inc(weight)
 
     def observe_commit(self, op: str, latency: float) -> None:
         """One committed operation; latency is publish→commit."""
-        self.stats.histogram("commit.latency").observe(latency)
-        self.stats.histogram(f"commit.op.{op}.latency").observe(latency)
+        self.stats.sketch("commit.latency").observe(latency)
+        self.stats.sketch(f"commit.op.{op}.latency").observe(latency)
         self.stats.counter("commit.committed").inc()
 
-    def observe(self, name: str, value: float) -> None:
-        self.stats.histogram(name).observe(value)
+    def observe(self, name: str, value: float, weight: int = 1) -> None:
+        self.stats.sketch(name).observe(value, weight)
+
+    def observe_staleness(self, tier: str, op: str, age: float, lag: int,
+                          weight: int = 1) -> None:
+        """One metadata read served from ``tier`` with its staleness.
+
+        ``age`` is sim-time since the served value last changed while the
+        authoritative MDS copy still lags it; ``lag`` is the number of
+        pending (published, not yet committed) mutations for the path.
+        Reads served by the MDS itself are authoritative by definition
+        (age 0, lag 0) and still recorded, so tier distributions compare.
+        """
+        self.stats.counter(f"consistency.reads[{tier}]").inc(weight)
+        self.stats.sketch(
+            f"consistency.staleness.age[{tier}:{op}]").observe(age, weight)
+        self.stats.sketch(
+            f"consistency.staleness.lag[{tier}:{op}]").observe(
+                float(lag), weight)
+
+    def observe_visibility(self, stage: str, op: str, latency: float,
+                           weight: int = 1) -> None:
+        """Submit-to-``stage`` visibility latency of one committed op.
+
+        ``stage`` is ``committed`` (MDS applied the mutation) or
+        ``global`` (the cached copy flipped to committed too, i.e. both
+        copies converged and every tier serves fresh metadata).
+        ``weight`` is the logical-op weight the message was published
+        with (:attr:`OpMessage.weight`).
+        """
+        self.stats.sketch(
+            f"consistency.visibility.{stage}[{op}]").observe(latency,
+                                                             weight)
 
     def count(self, name: str, n: int = 1) -> None:
         self.stats.counter(name).inc(n)
@@ -127,6 +170,11 @@ class MetricsHub:
         # The network counts delivery-time drops (`net.dropped`) here.
         region.cluster.network.hub = self
         self._regions.append(region)
+        # Per-shard read attribution for the consistency lens (zero-cost
+        # until enabled; the ring counts owner lookups from then on).
+        ring = getattr(region.cache, "ring", None)
+        if ring is not None:
+            ring.enable_lookup_stats()
         fresh: List[Tuple[str, Any]] = []
 
         def reg(resource, name: str = "") -> None:
@@ -168,12 +216,65 @@ class MetricsHub:
             sampler.stop()
 
     # -- export ------------------------------------------------------------
+    def consistency_snapshot(self) -> Dict[str, Any]:
+        """Cross-tier staleness/visibility rollup (v3 ``consistency``).
+
+        Merges the per-``tier:op`` staleness sketches into headline
+        distributions (sketch buckets add exactly, so the merge is
+        lossless at sketch resolution) and attributes reads to cache
+        shards via the hash ring's lookup counters.
+        """
+        from repro.obs.sketch import QuantileSketch
+
+        sketches = self.stats.sketches()
+
+        def merged(prefix: str, label: str) -> "QuantileSketch":
+            out = QuantileSketch(label)
+            for name in sorted(sketches):
+                if name.startswith(prefix):
+                    out.merge(sketches[name])
+            return out
+
+        counters = self.stats.counters()
+        reads = {name[len("consistency.reads["):-1]: value
+                 for name, value in counters.items()
+                 if name.startswith("consistency.reads[")}
+        age = merged("consistency.staleness.age[",
+                     "consistency.staleness.age")
+        lag = merged("consistency.staleness.lag[",
+                     "consistency.staleness.lag")
+        visibility = {
+            stage: merged(f"consistency.visibility.{stage}[",
+                          f"consistency.visibility.{stage}").summary()
+            for stage in ("committed", "global")}
+        shard_reads: Dict[str, int] = {}
+        pending = 0
+        for region in self._regions:
+            pending += region.total_pending_mutations()
+            ring = getattr(region.cache, "ring", None)
+            counts = ring.lookup_counts() if ring is not None else None
+            if counts:
+                for member, n in counts.items():
+                    shard_reads[member] = shard_reads.get(member, 0) + n
+        return {
+            "reads": reads,
+            "orphan_reads": counters.get("consistency.orphan_reads", 0),
+            "staleness": {"age": age.summary(), "lag": lag.summary()},
+            "staleness_p99": age.percentile(99),
+            "visibility": visibility,
+            "pending_mutations": pending,
+            "shard_reads": {k: shard_reads[k] for k in sorted(shard_reads)},
+            "sketches": {name: sk.export()
+                         for name, sk in sorted(sketches.items())
+                         if name.startswith("consistency.")},
+        }
+
     def export(self) -> Dict[str, Any]:
         """One aggregated document; keys sort stably for run-to-run diffs."""
         regions: Dict[str, Any] = {}
         for idx, region in enumerate(self._regions):
             regions[f"{idx:02d}:{region.name}"] = _region_snapshot(region)
-        return {
+        doc = {
             "schema": SCHEMA,
             "enabled": self.enabled,
             "counters": self.stats.counters(),
@@ -184,10 +285,16 @@ class MetricsHub:
             "clients": _client_snapshot(self._clients),
             "attribution": attribution_rollup(self.tracer),
             "resources": self.resource_snapshot(),
+            "consistency": self.consistency_snapshot(),
             "trace": {"events": len(self.tracer),
                       "dropped": self.tracer.dropped,
                       "open_spans": self.tracer.open_span_count()},
         }
+        # Lazy: the SLO engine evaluates finished documents, so it lives
+        # above the hub and must not be imported at module init.
+        from repro.obs.slo import default_policy
+        doc["slo"] = default_policy().evaluate(doc).to_doc()
+        return doc
 
     def resource_snapshot(self) -> Dict[str, Any]:
         """Lifetime contention figures for every registered resource."""
@@ -310,6 +417,12 @@ class _NullHub(MetricsHub):
         return
 
     def observe(self, *a, **kw) -> None:  # pragma: no cover - trivial
+        return
+
+    def observe_staleness(self, *a, **kw) -> None:  # pragma: no cover
+        return
+
+    def observe_visibility(self, *a, **kw) -> None:  # pragma: no cover
         return
 
     def count(self, *a, **kw) -> None:  # pragma: no cover - trivial

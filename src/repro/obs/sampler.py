@@ -7,6 +7,10 @@ records point-in-time gauges for one region into the hub's registry:
 * ``queue.backlog[<region>]`` — region-wide backlog total,
 * ``cache.used_bytes[<region>]`` — bytes held by the distributed cache,
 * ``cache.hit_rate[<region>]`` — cumulative cache hit rate,
+* ``consistency.pending_age[<region>]`` — age of the region's oldest
+  published-but-unresolved mutation (0 when fully converged): the
+  instantaneous staleness exposure the SLO engine windows over
+  fault/recovery phases,
 * ``resource.util[<name>]`` — *windowed* time-weighted utilization of
   each resource handed to the sampler (node CPUs/NICs, worker pools):
   busy slot-seconds accumulated since the previous sample divided by
@@ -58,6 +62,8 @@ class GaugeSampler:
         self._record_backlog = recorder(f"queue.backlog[{region.name}]")
         self._record_used = recorder(f"cache.used_bytes[{region.name}]")
         self._record_hit_rate = recorder(f"cache.hit_rate[{region.name}]")
+        self._record_pending_age = recorder(
+            f"consistency.pending_age[{region.name}]")
         self._queue_recorders: Dict[str, Callable[[float, float], None]] = {
             q.name: recorder(f"queue.depth[{q.name}]")
             for q in region.queues.queues()}
@@ -122,6 +128,8 @@ class GaugeSampler:
         self._record_backlog(t, backlog)
         self._record_used(t, region.cache.used_bytes())
         self._record_hit_rate(t, region.cache.hit_rate())
+        oldest = region.oldest_outstanding_op_timestamp()
+        self._record_pending_age(t, 0.0 if oldest is None else t - oldest)
         for state in self._resource_state:
             resource, rec, capacity, prev_busy, prev_t = state
             busy = resource.busy_time()

@@ -2,11 +2,13 @@
 
 Two contracts live here:
 
-* ``pacon.metrics/v2`` (:func:`validate`) — the MetricsHub export.  CI
+* ``pacon.metrics/v3`` (:func:`validate`) — the MetricsHub export.  CI
   runs an instrumented fig. 7 smoke pass and feeds the ``--metrics-out``
   JSON through it — renaming a metric, dropping a top-level section, or
   bumping the schema string without updating this contract fails the
-  build instead of silently breaking downstream dashboards.
+  build instead of silently breaking downstream dashboards.  v3 is
+  additive over v2 (``consistency`` + ``slo`` sections); archived v2
+  documents still validate, minus the v3-only requirements.
 * ``pacon.bench/v1`` (:func:`validate_bench`) — the benchmark snapshot
   (``BENCH_<label>.json``) written by ``repro.bench.runner``.  The CI
   perf gate and ``pacon-bench compare``/``history`` refuse documents
@@ -24,13 +26,14 @@ import json
 import sys
 from typing import Any, Dict, List
 
-from repro.obs.hub import SCHEMA
+from repro.obs.hub import SCHEMA, SCHEMA_V2
 
-__all__ = ["SCHEMA", "BENCH_SCHEMA", "validate", "validate_bench",
-           "validate_chaos", "validate_any", "main",
+__all__ = ["SCHEMA", "SCHEMA_V2", "BENCH_SCHEMA", "validate",
+           "validate_bench", "validate_chaos", "validate_any", "main",
            "REQUIRED_TOP_LEVEL", "REQUIRED_COUNTERS",
            "REQUIRED_HISTOGRAMS", "REQUIRED_REGION_COMMIT_FIELDS",
            "REQUIRED_ATTRIBUTION_FIELDS",
+           "REQUIRED_CONSISTENCY_FIELDS", "REQUIRED_SLO_FIELDS",
            "REQUIRED_CHAOS_COUNTERS", "REQUIRED_CHAOS_HISTOGRAMS",
            "REQUIRED_BENCH_TOP_LEVEL", "REQUIRED_BENCH_EXPERIMENT_FIELDS"]
 
@@ -52,6 +55,18 @@ REQUIRED_BENCH_EXPERIMENT_FIELDS = ("title", "scale", "seed", "params",
 REQUIRED_TOP_LEVEL = ("schema", "enabled", "counters", "histograms",
                       "meters", "series", "regions", "clients",
                       "attribution", "resources", "trace")
+
+#: v3-only top-level sections (the consistency observatory).
+REQUIRED_TOP_LEVEL_V3 = REQUIRED_TOP_LEVEL + ("consistency", "slo")
+
+#: Fields of the v3 ``consistency`` section.
+REQUIRED_CONSISTENCY_FIELDS = ("reads", "orphan_reads", "staleness",
+                               "staleness_p99", "visibility",
+                               "pending_mutations", "shard_reads",
+                               "sketches")
+
+#: Fields of the v3 ``slo`` section (one evaluated PolicyResult).
+REQUIRED_SLO_FIELDS = ("policy", "verdict", "objectives")
 
 #: Fields of the ``attribution`` section (`attribution.ops.*` entries
 #: additionally carry count/mean_latency/buckets/residual, checked below).
@@ -83,16 +98,27 @@ REQUIRED_CHAOS_HISTOGRAMS = ("chaos.downtime",)
 
 
 def validate(doc: Dict[str, Any]) -> List[str]:
-    """Return a list of schema-drift problems (empty means conformant)."""
+    """Return a list of schema-drift problems (empty means conformant).
+
+    Dispatches on the document's own schema string: ``pacon.metrics/v3``
+    documents must carry the ``consistency`` and ``slo`` sections;
+    archived ``pacon.metrics/v2`` documents validate against the v2
+    contract unchanged (v3 is additive).
+    """
     problems: List[str] = []
     if not isinstance(doc, dict):
         return [f"document is {type(doc).__name__}, expected object"]
     schema = doc.get("schema")
-    if schema != SCHEMA:
-        problems.append(f"schema is {schema!r}, expected {SCHEMA!r}")
-    for key in REQUIRED_TOP_LEVEL:
+    if schema not in (SCHEMA, SCHEMA_V2):
+        problems.append(f"schema is {schema!r}, expected {SCHEMA!r}"
+                        f" (or legacy {SCHEMA_V2!r})")
+    required = REQUIRED_TOP_LEVEL_V3 if schema == SCHEMA \
+        else REQUIRED_TOP_LEVEL
+    for key in required:
         if key not in doc:
             problems.append(f"missing top-level section {key!r}")
+    if schema == SCHEMA:
+        problems.extend(_validate_v3_sections(doc))
     counters = doc.get("counters", {})
     if isinstance(counters, dict):
         for name in REQUIRED_COUNTERS:
@@ -143,6 +169,55 @@ def validate(doc: Dict[str, Any]) -> List[str]:
                         f" {field!r}")
     else:
         problems.append("'regions' is not an object")
+    return problems
+
+
+def _validate_v3_sections(doc: Dict[str, Any]) -> List[str]:
+    """Structural checks of the v3-only ``consistency``/``slo`` sections."""
+    problems: List[str] = []
+    consistency = doc.get("consistency")
+    if isinstance(consistency, dict):
+        for field in REQUIRED_CONSISTENCY_FIELDS:
+            if field not in consistency:
+                problems.append(f"consistency missing field {field!r}")
+        staleness = consistency.get("staleness")
+        if isinstance(staleness, dict):
+            for dist in ("age", "lag"):
+                if dist not in staleness:
+                    problems.append(f"consistency.staleness missing"
+                                    f" {dist!r}")
+        elif staleness is not None:
+            problems.append("'consistency.staleness' is not an object")
+        for name, sketch in (consistency.get("sketches") or {}).items():
+            if not isinstance(sketch, dict) or "buckets" not in sketch:
+                problems.append(f"consistency.sketches[{name!r}] has no"
+                                " bucket export")
+    elif "consistency" in doc:
+        problems.append("'consistency' is not an object")
+    slo = doc.get("slo")
+    if isinstance(slo, dict):
+        for field in REQUIRED_SLO_FIELDS:
+            if field not in slo:
+                problems.append(f"slo missing field {field!r}")
+        if slo.get("verdict") not in ("pass", "fail", None):
+            problems.append(f"slo verdict is {slo.get('verdict')!r},"
+                            " expected 'pass' or 'fail'")
+        objectives = slo.get("objectives")
+        if isinstance(objectives, list):
+            for entry in objectives:
+                if not isinstance(entry, dict):
+                    problems.append("slo objective entry is not an object")
+                    continue
+                for field in ("name", "kind", "metric", "measured",
+                              "target", "ok"):
+                    if field not in entry:
+                        problems.append(
+                            f"slo objective {entry.get('name')!r}"
+                            f" missing {field!r}")
+        elif objectives is not None:
+            problems.append("'slo.objectives' is not a list")
+    elif "slo" in doc:
+        problems.append("'slo' is not an object")
     return problems
 
 

@@ -16,6 +16,9 @@ import numpy as np
 __all__ = ["Counter", "Histogram", "Series", "ThroughputMeter",
            "StatsRegistry"]
 
+if False:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.sketch import QuantileSketch
+
 
 class Counter:
     """A monotonically increasing named count."""
@@ -184,6 +187,7 @@ class StatsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._meters: Dict[str, ThroughputMeter] = {}
         self._series: Dict[str, Series] = {}
+        self._sketches: Dict[str, "QuantileSketch"] = {}
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
@@ -191,7 +195,14 @@ class StatsRegistry:
             c = self._counters[name] = Counter(name)
         return c
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str) -> Any:
+        # Metrics migrated to quantile sketches keep their old names;
+        # reading one through this legacy accessor returns the sketch
+        # (observe/mean/percentile/summary are API-compatible) instead
+        # of allocating an empty shadow histogram beside it.
+        s = self._sketches.get(name)
+        if s is not None:
+            return s
         h = self._histograms.get(name)
         if h is None:
             h = self._histograms[name] = Histogram(name)
@@ -209,11 +220,39 @@ class StatsRegistry:
             s = self._series[name] = Series(name)
         return s
 
+    def sketch(self, name: str) -> "QuantileSketch":
+        """Constant-memory quantile sketch (latency recording hot path).
+
+        Imported lazily: :mod:`repro.obs.sketch` lives in the package that
+        itself imports this module at init time.
+        """
+        s = self._sketches.get(name)
+        if s is None:
+            from repro.obs.sketch import QuantileSketch
+            s = self._sketches[name] = QuantileSketch(name)
+        return s
+
     def counters(self) -> Dict[str, int]:
         return {k: v.value for k, v in sorted(self._counters.items())}
 
     def histograms(self) -> Dict[str, Dict[str, float]]:
-        return {k: v.summary() for k, v in sorted(self._histograms.items())}
+        """Summaries of raw-sample histograms *and* quantile sketches.
+
+        Both produce the same summary keys, so consumers of the exported
+        ``histograms`` section are agnostic to which backing store
+        recorded a metric.
+        """
+        out = {k: v.summary() for k, v in self._histograms.items()}
+        for k, v in self._sketches.items():
+            out[k] = v.summary()
+        return {k: out[k] for k in sorted(out)}
+
+    def sketches(self) -> Dict[str, "QuantileSketch"]:
+        return dict(self._sketches)
+
+    def sketch_exports(self) -> Dict[str, Dict[str, Any]]:
+        """Full bucket-level sketch state, stably ordered."""
+        return {k: v.export() for k, v in sorted(self._sketches.items())}
 
     def meters(self, now: Optional[float] = None) -> Dict[str, float]:
         """Snapshot every meter; running meters report 0.0 (or against

@@ -19,6 +19,7 @@ from repro.bench import (
     fig12,
     latency,
     sensitivity,
+    staleness,
     table1,
 )
 
@@ -90,6 +91,20 @@ class TestDriverSchemas:
         assert all(row["pacon_wins"] == "yes" for row in r.rows)
         knobs = {row["knob"] for row in r.rows}
         assert knobs == {"network", "mds"}
+
+    def test_staleness(self):
+        r = staleness.run("smoke")
+        batches = staleness.SCALES["smoke"]["batch_sizes"]
+        assert [row["batch"] for row in r.rows] == batches
+        for row in r.rows:
+            assert row["reads_shared"] + row["reads_private"] \
+                + row["reads_mds"] > 0
+            assert row["stale_p99"] >= row["stale_p50"] >= 0
+            assert row["vis_global_p99"] >= row["vis_commit_p99"] > 0
+            # Every sweep point quiesced: partial consistency converged.
+            assert row["pending_end"] == 0
+        assert r.derived["consistency.staleness_p99"] == \
+            max(row["stale_p99"] for row in r.rows)
 
     def test_ablations(self):
         results = ablations.run_all("smoke")

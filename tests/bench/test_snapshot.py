@@ -38,7 +38,7 @@ from repro.obs.schema import validate_bench
 
 EXPECTED_EXPERIMENTS = {
     "fig01", "fig02", "table1", "fig07", "fig08", "fig09", "fig10",
-    "fig11", "fig12", "latency", "sensitivity",
+    "fig11", "fig12", "latency", "sensitivity", "staleness",
     "ablA", "ablB", "ablC", "ablD", "ablE",
 }
 
@@ -217,6 +217,35 @@ class TestCompare:
                                  host_threshold=1e6)
         assert comp.ok
         assert DEFAULT_HOST_THRESHOLD == pytest.approx(0.5)
+
+    def test_sketch_quantiles_get_one_bucket_tolerance(self, snapshot_pair):
+        # A sketch-derived percentile drifting within one log bucket
+        # (growth 1.05) is quantization, not a regression.
+        doc = copy.deepcopy(snapshot_pair[1])
+        row = doc["experiments"]["staleness"]["rows"][0]
+        row["stale_p99"] *= 1.04
+        comp = compare_snapshots(snapshot_pair[0], doc, ignore_host=True)
+        assert comp.ok
+        # Beyond one bucket it regresses like any simulated metric.
+        row["stale_p99"] *= 1.10
+        comp = compare_snapshots(snapshot_pair[0], doc, ignore_host=True)
+        assert not comp.ok
+        assert comp.regressions[0].metric == "staleness.rows[0].stale_p99"
+
+    def test_sketch_counts_stay_exact(self, snapshot_pair):
+        doc = copy.deepcopy(snapshot_pair[1])
+        doc["experiments"]["staleness"]["rows"][0]["reads_shared"] += 1
+        comp = compare_snapshots(snapshot_pair[0], doc, ignore_host=True)
+        assert not comp.ok
+
+    def test_explicit_tolerance_overrides_sketch_default(
+            self, snapshot_pair):
+        doc = copy.deepcopy(snapshot_pair[1])
+        doc["experiments"]["staleness"]["rows"][0]["stale_p99"] *= 1.04
+        comp = compare_snapshots(
+            snapshot_pair[0], doc, ignore_host=True,
+            tolerances={"staleness.rows[0].stale_p99": 0.0})
+        assert not comp.ok
 
 
 class TestHistory:

@@ -104,6 +104,10 @@ class _QueuelessRegion:
         self.queues = self._Queues()
         self.cache = self._Cache()
 
+    @staticmethod
+    def oldest_outstanding_op_timestamp():
+        return None
+
 
 class TestZeroQueueRegion:
     """Regression: ``all(...)`` over a region with zero commit queues is

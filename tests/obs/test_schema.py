@@ -1,4 +1,4 @@
-"""Tests for the pacon.metrics/v2 schema guard (repro.obs.schema)."""
+"""Tests for the pacon.metrics schema guard (repro.obs.schema)."""
 
 import json
 

@@ -197,7 +197,7 @@ class TestObservabilityCommands:
                    "--items", "5", "--out", str(out_file)])
         assert rc == 0
         doc = json.loads(out_file.read_text())
-        assert doc["schema"] == "pacon.metrics/v2"
+        assert doc["schema"] == "pacon.metrics/v3"
         assert doc["histograms"]["client.op.mkdir.latency"]["count"] > 0
         assert doc["counters"]["commit.committed"] > 0
         assert any(name.startswith("queue.depth[")
@@ -209,7 +209,7 @@ class TestObservabilityCommands:
         assert rc == 0
         out = capsys.readouterr().out
         doc = json.loads(out)
-        assert doc["schema"] == "pacon.metrics/v2"
+        assert doc["schema"] == "pacon.metrics/v3"
         assert out.count("\n") == 1  # single line + trailing newline
 
     def test_trace_renders_spans(self, capsys):
