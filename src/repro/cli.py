@@ -14,6 +14,7 @@ Installed as ``pacon-bench`` (see pyproject) or usable as
     pacon-bench trace --nodes 2 --items 5 --limit 100
     pacon-bench trace --since 0.001 --until 0.002 --chrome trace.json
     pacon-bench profile --nodes 2 --items 25 --top 10
+    pacon-bench elastic --scale smoke --metrics-out elastic.metrics.json
 """
 
 from __future__ import annotations
@@ -191,6 +192,18 @@ def build_parser() -> argparse.ArgumentParser:
                             " (includes the chaos.* counters)")
     chaos.add_argument("--json", action="store_true", dest="as_json",
                        help="machine-readable scenario summaries")
+
+    elastic = sub.add_parser(
+        "elastic", help="flash-crowd elasticity bench: autoscaled vs."
+                        " statically provisioned runs of one workload")
+    elastic.add_argument("--scale", choices=("smoke", "ci", "paper"),
+                         default="smoke")
+    elastic.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    elastic.add_argument("--metrics-out", default=None,
+                         help="write the autoscaled run's MetricsHub JSON"
+                              " here (includes the autoscale.* series)")
+    elastic.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable rows + derived metrics")
     return parser
 
 
@@ -488,6 +501,33 @@ def _cmd_chaos(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_elastic(args) -> int:
+    import json
+
+    from repro.bench import elastic as driver
+    from repro.obs.hub import MetricsHub
+
+    hub = None
+    if args.metrics_out:
+        hub = MetricsHub(
+            sample_interval=driver.SCALES[args.scale]["sample_interval"])
+    result = driver.run(args.scale, seed=args.seed, hub=hub)
+    if args.as_json:
+        print(json.dumps(result.to_snapshot(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    if hub is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(hub.to_json(indent=2))
+        print(f"metrics written to {args.metrics_out}")
+    # The headline claim gates the exit code: once adapted, the
+    # autoscaled run must beat static_min on steady-state tail latency
+    # while costing less than static_peak provisioning.
+    ok = (result.derived["steady_p99_speedup_vs_static_min"] > 1.0
+          and result.derived["cost_ratio_vs_static_peak"] < 1.0)
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"mdtest": _cmd_mdtest, "madbench": _cmd_madbench,
@@ -495,7 +535,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "compare": _cmd_compare, "history": _cmd_history,
                 "stats": _cmd_stats, "trace": _cmd_trace,
                 "profile": _cmd_profile, "chaos": _cmd_chaos,
-                "slo": _cmd_slo}
+                "slo": _cmd_slo, "elastic": _cmd_elastic}
     return handlers[args.command](args)
 
 

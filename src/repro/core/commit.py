@@ -181,6 +181,23 @@ class CommitProcess:
         """True while the commit loop's DES process is running."""
         return self._process is not None and self._process.is_alive
 
+    @property
+    def dead(self) -> bool:
+        """Crashed and not (yet) restarted.
+
+        A dead process will never drain its queue again — messages that
+        land there after the crash (barrier broadcasts, racing publishes)
+        sit until :func:`repro.core.failure.recover_node` restarts the
+        loop.  Quiescing must skip such processes or it waits forever on
+        work that recovery, not draining, is responsible for.  A loop
+        that exited *cleanly* (queue closed and drained) is not dead —
+        it is simply finished, and trivially idle.
+        """
+        if self.killed:
+            return True
+        return (self._process is not None and not self._process.is_alive
+                and not self.queue.closed)
+
     def abort(self, reason: str = "abort") -> Dict[str, int]:
         """Drop all unresolved work and stop the loop; return loss counts.
 

@@ -22,6 +22,7 @@ from repro.core.eviction import EvictionManager
 from repro.core.region import ConsistentRegion, RegionManager
 from repro.dfs.beegfs import BeeGFS
 from repro.dfs.namespace import split_path
+from repro.kvstore.memkv import KeyExists
 from repro.sim.core import run_sync
 from repro.sim.costs import CostModel
 from repro.sim.network import Cluster, Node
@@ -105,12 +106,27 @@ class PaconDeployment:
         for old in region.shards:
             if old is new_shard:
                 continue
+            if not old.node.alive:
+                # Crashed shards were wiped by fail_node; their records
+                # will be re-fetched from the DFS on demand.  Growth must
+                # not stall (or crash) on an unreachable peer.
+                continue
             entries = yield from old.request(node, "scan_prefix", "")
             for key, record in entries:
                 if region.cache.shard_for(key) is new_shard:
-                    yield from new_shard.request(node, "set", key, record)
+                    # Only-if-absent, same as retirement: clients already
+                    # route ``key`` to the new shard once ``add_node``
+                    # updated the ring, so a record mutated there during
+                    # this migration is newer than the copy being moved
+                    # and must win.  Either way the stale copy on the old
+                    # shard is dropped only once the new home holds one.
+                    try:
+                        yield from new_shard.request(node, "add", key,
+                                                     record)
+                        moved += 1
+                    except KeyExists:
+                        pass  # concurrent mutation on the new home wins
                     yield from old.request(node, "delete", key)
-                    moved += 1
         return moved
 
     def grow_region(self, region: ConsistentRegion, node: Node) -> int:
@@ -122,6 +138,11 @@ class PaconDeployment:
         inline small-file data and metadata stay primary-copy-resident
         across the membership change.  Returns the number of records
         migrated (consistent hashing keeps this near 1/(N+1) of the keys).
+
+        Growth skips crashed peers (their shards were wiped at fault
+        time) and uses only-if-absent ``add`` for the moved records, so
+        it composes with chaos faults and with clients mutating the new
+        shard mid-migration.
 
         Growth is also safe *without* this quiesce while a barrier epoch
         is in flight: ``ConsistentRegion.add_node`` defers the commit
@@ -143,10 +164,22 @@ class PaconDeployment:
         ``add`` so a record mutated concurrently on its new home shard is
         never clobbered by the stale departing copy.  Returns the number
         of records migrated.
-        """
-        from repro.kvstore.memkv import KeyExists
 
+        Refuses to shrink the region below one node: the last shard has
+        nowhere to migrate to, and ``remove_node`` would reject it anyway
+        — but only after this method had already quiesced and looked for
+        a survivor, so the guard lives up front where it can fail fast
+        and leave the region untouched.
+        """
         env = self.cluster.env
+        if node not in region.nodes:
+            raise ValueError(f"{node.name} is not part of region "
+                             f"{region.name}")
+        if len(region.nodes) == 1:
+            raise ValueError(
+                f"cannot retire {node.name}: it is the last node of "
+                f"region {region.name}; a region cannot shrink below "
+                f"one node")
         yield from self.quiesce(region)
         while region.barrier_epochs_completed < region.client_epoch \
                 or region.commit_barrier.n_waiting > 0:
@@ -204,10 +237,18 @@ class PaconDeployment:
     # -- quiescing ---------------------------------------------------------------
     def quiesce(self, region: ConsistentRegion,
                 poll_interval: float = 200e-6):
-        """Generator: wait until every queued operation has committed."""
+        """Generator: wait until every queued operation has committed.
+
+        Dead commit processes (crashed, not yet restarted) are skipped:
+        their queues only drain when :func:`repro.core.failure.recover_node`
+        restarts the loop, so polling them would hang grow/retire/close
+        forever after a chaos ``fail_node``.  Their backlog is recovery's
+        responsibility, not quiescing's.
+        """
         env = self.cluster.env
         while True:
-            if all(cp.idle for cp in region.commit_processes):
+            if all(cp.idle for cp in region.commit_processes
+                   if not cp.dead):
                 return
             yield env.timeout(poll_interval)
 

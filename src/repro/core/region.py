@@ -106,6 +106,11 @@ class ConsistentRegion:
         self.ops_submitted = 0
         self.ops_committed = 0
         self.barrier_epochs_completed = 0
+        # Membership history: ``(time, node_count)`` per change, seeded
+        # with the initial size.  The autoscaler bench integrates this
+        # into provisioned cost (node-seconds); see :meth:`node_seconds`.
+        self.membership_log: List[Tuple[float, int]] = [
+            (self.env.now, len(self.nodes))]
         # Version-lag ledger: per-path count of published-but-unresolved
         # mutations (resolved = committed, discarded, or coalesced away).
         # Maintained only while a hub is attached (call sites guard on
@@ -183,6 +188,7 @@ class ConsistentRegion:
             self.commit_barrier.parties += 1
         else:
             self._deferred_barrier_parties.append(self.client_epoch)
+        self.membership_log.append((self.env.now, len(self.nodes)))
         return shard
 
     def remove_node(self, node: Node) -> "CacheShard":
@@ -220,7 +226,21 @@ class ConsistentRegion:
         queue.close()
         del self.clients_on_node[node.node_id]
         self.commit_barrier.parties -= 1
+        self.membership_log.append((self.env.now, len(self.nodes)))
         return shard
+
+    def node_seconds(self, until: Optional[float] = None) -> float:
+        """Provisioned cost so far: the step integral of member count
+        over simulated time.  A static region of N nodes over a span T
+        costs exactly ``N * T``; an autoscaled one pays only for the
+        nodes while they are members."""
+        end = self.env.now if until is None else until
+        total = 0.0
+        for i, (start, count) in enumerate(self.membership_log):
+            stop = (self.membership_log[i + 1][0]
+                    if i + 1 < len(self.membership_log) else end)
+            total += count * max(0.0, stop - start)
+        return total
 
     # -- merging (§III.D.4) ----------------------------------------------------------
     def merge(self, other: "ConsistentRegion", mutual: bool = True) -> None:

@@ -204,6 +204,23 @@ class MetricsHub:
             self._samplers.append(sampler)
         return region
 
+    def track_resource(self, region, resource, name: str = "") -> None:
+        """Register a resource that joined ``region`` after attachment.
+
+        Elastic growth adds nodes (CPU/NIC) and cache shards mid-run;
+        this registers them for the contention snapshot and, when the
+        region has a running sampler, extends that sampler so the new
+        resources get ``resource.util[*]`` series from now on.  Identity
+        deduplication applies as usual, so re-growing onto a previously
+        retired node does not double-sample it.
+        """
+        label = self.register_resource(resource, name)
+        if label is None:
+            return
+        for sampler in self._samplers:
+            if sampler.region is region:
+                sampler.track(label, resource)
+
     def attach_client(self, client) -> None:
         self._clients.append(client)
 

@@ -74,6 +74,18 @@ class GaugeSampler:
              0.0, res.created_at]
             for name, res in self.resources]
 
+    def track(self, name: str, resource: Any) -> None:
+        """Start sampling one more resource mid-run (elastic growth).
+
+        The utilization window is seeded from the resource's *current*
+        busy time, so a node that did work before joining this region
+        (or a re-tracked one) does not show a spurious first-sample
+        spike."""
+        self.resources.append((name, resource))
+        self._resource_state.append(
+            [resource, self.hub.series_recorder(f"resource.util[{name}]"),
+             resource.capacity, resource.busy_time(), self.env.now])
+
     # -- lifecycle ---------------------------------------------------------
     def start(self):
         """Spawn the sampling loop; returns the Process."""

@@ -1,0 +1,98 @@
+"""Property (§III.A elasticity): membership churn is invisible to the
+namespace.
+
+grow→retire→grow cycles running concurrently with a multi-client
+workload must leave the DFS namespace byte-identical to a same-seed run
+with static membership, and the op accounting must balance exactly —
+``submitted == committed + discarded + coalesced`` with nothing lost
+and nothing double-committed.  Membership changes move metadata between
+shards; they never create, destroy, or re-execute it.
+
+Retired nodes take their commit process (and its counters) out of
+``region.commit_processes``, so the accounting is summed over every
+commit process that ever served the region, not just the final members.
+"""
+
+from typing import List, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.invariants import namespace_entries
+from repro.core.config import PaconConfig
+from repro.core.deploy import PaconDeployment
+from repro.dfs.beegfs import BeeGFS
+from repro.sim.core import run_sync
+from repro.sim.network import Cluster
+
+WS = "/app"
+
+
+def _workload(client, base: str, n_files: int, rm_every: int):
+    yield from client.mkdir(base)
+    for i in range(n_files):
+        path = f"{base}/f{i}"
+        yield from client.create(path)
+        if rm_every and i % rm_every == rm_every - 1:
+            yield from client.rm(path)
+
+
+def _run(seed: int, n_files: int, rm_every: int, cycles: int):
+    """One world; ``cycles`` grow→retire rounds (0 = static membership).
+
+    Returns ``(namespace entries under WS, submitted, accounted)``.
+    """
+    cluster = Cluster(seed=seed)
+    dfs = BeeGFS(cluster)
+    env = cluster.env
+    nodes = [cluster.add_node(f"c{i}") for i in range(3)]
+    spare = cluster.add_node("spare")
+    deployment = PaconDeployment(cluster, dfs)
+    region = deployment.create_region(PaconConfig(workspace=WS), nodes)
+    clients = [deployment.client(region, n) for n in nodes]
+    procs = [env.process(_workload(c, f"{WS}/w{i}", n_files, rm_every),
+                         label=f"w{i}")
+             for i, c in enumerate(clients)]
+    all_cps = set(region.commit_processes)
+
+    def driver():
+        for _ in range(cycles):
+            yield from deployment.grow_region_async(region, spare)
+            all_cps.update(region.commit_processes)
+            yield from deployment.retire_node_async(region, spare)
+        if cycles:
+            # End grown: the final namespace must not depend on which
+            # membership the run happens to finish at.
+            yield from deployment.grow_region_async(region, spare)
+            all_cps.update(region.commit_processes)
+        for proc in procs:
+            yield proc
+        yield from deployment.quiesce(region)
+
+    run_sync(env, driver(), label="driver")
+    submitted = region.ops_submitted
+    accounted = sum(cp.committed + cp.discarded + cp.coalesced
+                    for cp in all_cps)
+    entries: List[Tuple] = namespace_entries(dfs.namespace, WS)
+    region.close()
+    return entries, submitted, accounted
+
+
+@given(seed=st.integers(min_value=0, max_value=7),
+       n_files=st.integers(min_value=2, max_value=8),
+       rm_every=st.sampled_from([0, 2, 3]),
+       cycles=st.integers(min_value=1, max_value=2))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_churn_is_invisible_and_accounting_exact(seed, n_files, rm_every,
+                                                 cycles):
+    churn_entries, submitted, accounted = _run(seed, n_files, rm_every,
+                                               cycles)
+    static_entries, s_submitted, s_accounted = _run(seed, n_files,
+                                                    rm_every, 0)
+    # Exact loss accounting on both runs: no op vanished, none ran twice.
+    assert submitted == accounted
+    assert s_submitted == s_accounted
+    assert submitted == s_submitted
+    # Byte-identity: churn must not change what the DFS ends up holding.
+    assert churn_entries == static_entries
