@@ -167,9 +167,13 @@ class ChaosEngine:
                              injected_at=injected_at, recovered_at=-1.0)
         tracer.emit(injected_at, "chaos", "inject",
                     f"{fault.kind}[{fault.target}]")
+        inject_seq = -1
         if hub.enabled:
             hub.count("chaos.injected")
             hub.count(f"chaos.fault.{fault.kind}")
+            inject_seq = hub.timeline.record(
+                injected_at, "chaos", "fault.injected",
+                f"{fault.kind}[{fault.target}]")
 
         if fault.kind == "node_crash":
             node = self.region.nodes[fault.target % len(self.region.nodes)]
@@ -216,4 +220,8 @@ class ChaosEngine:
         if hub.enabled:
             hub.count("chaos.recovered")
             hub.observe("chaos.downtime", self.env.now - injected_at)
+            hub.timeline.record(
+                self.env.now, "chaos", "fault.recovered",
+                f"{fault.kind}[{fault.target}]",
+                detail=record.detail, ref=inject_seq)
         return record

@@ -88,11 +88,26 @@ class ScenarioResult:
     #: produced no fault window (or no samples at all).
     slo_during: Optional[Dict[str, Any]] = None
     slo_post: Optional[Dict[str, Any]] = None
+    #: The faulty run's full metrics export (``pacon.metrics/v4``).  The
+    #: incident flight recorder reads it: ``timeline``/``incidents``
+    #: sections plus :func:`repro.obs.incidents.fault_attribution` rows.
+    #: Not part of :meth:`summary` (it is large); the CLI writes it via
+    #: ``--metrics-out`` and ``pacon-bench incidents`` gates on it.
+    metrics_doc: Optional[Dict[str, Any]] = None
+    #: Per injected fault: the incidents that blamed it (see
+    #: ``fault_attribution``).  None when no hub export was taken.
+    attribution: Optional[List[Dict[str, Any]]] = None
 
     @property
     def slo_ok(self) -> bool:
         """Post-recovery SLO held (during-fault is informational)."""
         return self.slo_post is None or self.slo_post["verdict"] == "pass"
+
+    @property
+    def faults_attributed(self) -> bool:
+        """Every injected fault is the top suspect of ≥1 incident."""
+        return bool(self.attribution) and \
+            all(row["attributed"] for row in self.attribution)
 
     @property
     def ok(self) -> bool:
@@ -317,8 +332,13 @@ def run_scenario(name: str, seed: int = DEFAULT_SEED,
     # so the post-recovery "staleness drained" verdict reads the truth.
     for sampler in slo_hub.samplers:
         sampler.sample_once()
-    slo_during, slo_post = _slo_verdicts(slo_hub, engine, horizon,
+    # One export serves everything downstream: the windowed SLO verdicts,
+    # the incident/blame sections it already carries (v4), and the CLI's
+    # --metrics-out file — re-exporting would re-run detection twice.
+    doc = slo_hub.export()
+    slo_during, slo_post = _slo_verdicts(doc, engine, horizon,
                                          world.env.now)
+    from repro.obs.incidents import fault_attribution
     return ScenarioResult(
         name=name, seed=seed, report=report,
         schedule_signature=schedule.signature(),
@@ -327,10 +347,11 @@ def run_scenario(name: str, seed: int = DEFAULT_SEED,
         replays=sum(cp.replays for cp in world.region.commit_processes),
         dropped=world.cluster.network.dropped,
         reference_span=horizon, sim_time=world.env.now,
-        slo_during=slo_during, slo_post=slo_post)
+        slo_during=slo_during, slo_post=slo_post,
+        metrics_doc=doc, attribution=fault_attribution(doc))
 
 
-def _slo_verdicts(hub, engine, horizon: float, end: float,
+def _slo_verdicts(doc, engine, horizon: float, end: float,
                   ) -> Tuple[Optional[Dict], Optional[Dict]]:
     """During-fault and post-recovery staleness verdicts for one run.
 
@@ -349,7 +370,6 @@ def _slo_verdicts(hub, engine, horizon: float, end: float,
                  if r.recovered_at is not None]
     if not injected or not recovered:
         return None, None
-    doc = hub.export()
     t0, t1 = min(injected), max(recovered)
     fault_span = max(0.0, t1 - t0)
     during = Policy("chaos-during", [StalenessObjective(

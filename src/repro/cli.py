@@ -11,6 +11,7 @@ Installed as ``pacon-bench`` (see pyproject) or usable as
     pacon-bench compare BENCH_a.json BENCH_b.json --json
     pacon-bench history --metric 'fig07.*'
     pacon-bench stats --nodes 2 --items 25 --out metrics.json
+    pacon-bench incidents --json --out incidents.json
     pacon-bench trace --nodes 2 --items 5 --limit 100
     pacon-bench trace --since 0.001 --until 0.002 --chrome trace.json
     pacon-bench profile --nodes 2 --items 25 --top 10
@@ -193,6 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true", dest="as_json",
                        help="machine-readable scenario summaries")
 
+    incidents = sub.add_parser(
+        "incidents", help="run chaos scenarios through the incident"
+                          " flight recorder: detect SLO-burn incidents,"
+                          " blame control-plane causes, and gate on"
+                          " every fault being the top suspect")
+    incidents.add_argument("scenario", nargs="?", default="all",
+                           choices=("all", "mds_crash", "barrier_crash",
+                                    "partition_heal", "cache_churn",
+                                    "node_crash"))
+    incidents.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    incidents.add_argument("--items", type=int, default=24,
+                           help="files created per client")
+    incidents.add_argument("--nodes", type=int, default=3)
+    incidents.add_argument("--clients-per-node", type=int, default=2)
+    incidents.add_argument("--json", action="store_true", dest="as_json",
+                           help="machine-readable incident + attribution"
+                                " payload instead of a report")
+    incidents.add_argument("--out", default=None,
+                           help="also write the output here (CI artifact)")
+
     elastic = sub.add_parser(
         "elastic", help="flash-crowd elasticity bench: autoscaled vs."
                         " statically provisioned runs of one workload")
@@ -272,13 +293,18 @@ def _cmd_figure(args) -> int:
         kwargs["hub"] = hub
     result = driver.run(args.scale, **kwargs)
     print(result.render())
+    # One export serves both artifacts, so the metrics JSON and the
+    # trace's incident track are guaranteed to agree.
+    doc = hub.export() if hub is not None else None
     if hub is not None and args.metrics_out:
         with open(args.metrics_out, "w") as fh:
-            fh.write(hub.to_json(indent=2))
+            fh.write(hub.to_json(indent=2, doc=doc))
         print(f"metrics written to {args.metrics_out}")
     if hub is not None and args.trace_out:
         from repro.obs.chrome import write_chrome_trace
-        count = write_chrome_trace(args.trace_out, hub.tracer, hub)
+        count = write_chrome_trace(
+            args.trace_out, hub.tracer, hub,
+            incidents=doc["incidents"]["incidents"])
         print(f"chrome trace written to {args.trace_out}"
               f" ({count} events)")
     return 0
@@ -419,8 +445,10 @@ def _cmd_trace(args) -> int:
     _emit(hub.tracer.render(limit=args.limit, **filters), args.out)
     if args.chrome:
         from repro.obs.chrome import write_chrome_trace
+        incidents = hub.export()["incidents"]["incidents"]
         count = write_chrome_trace(args.chrome, hub.tracer, hub,
-                                   since=args.since, until=args.until)
+                                   since=args.since, until=args.until,
+                                   incidents=incidents)
         print(f"chrome trace written to {args.chrome} ({count} events)")
     return 0
 
@@ -501,6 +529,44 @@ def _cmd_chaos(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_incidents(args) -> int:
+    import json
+
+    from repro.chaos.scenarios import SCENARIOS, run_scenario
+    from repro.obs.incidents import format_report
+
+    names = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    chunks: List[str] = []
+    payload = []
+    all_attributed = True
+    for name in names:
+        result = run_scenario(
+            name, seed=args.seed, items=args.items, n_nodes=args.nodes,
+            clients_per_node=args.clients_per_node)
+        doc = result.metrics_doc
+        all_attributed &= result.faults_attributed
+        if args.as_json:
+            payload.append({
+                "scenario": name,
+                "seed": result.seed,
+                "attributed": result.faults_attributed,
+                "incidents": doc["incidents"],
+                "attribution": result.attribution,
+            })
+        else:
+            status = "ok" if result.faults_attributed else "UNATTRIBUTED"
+            chunks.append(f"== {name} [{status}] seed={result.seed}")
+            chunks.append(format_report(doc))
+    text = json.dumps(payload, indent=2, sort_keys=True) if args.as_json \
+        else "\n".join(chunks)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"written to {args.out}")
+    return 0 if all_attributed else 1
+
+
 def _cmd_elastic(args) -> int:
     import json
 
@@ -535,7 +601,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "compare": _cmd_compare, "history": _cmd_history,
                 "stats": _cmd_stats, "trace": _cmd_trace,
                 "profile": _cmd_profile, "chaos": _cmd_chaos,
-                "slo": _cmd_slo, "elastic": _cmd_elastic}
+                "slo": _cmd_slo, "elastic": _cmd_elastic,
+                "incidents": _cmd_incidents}
     return handlers[args.command](args)
 
 

@@ -251,6 +251,8 @@ class Autoscaler:
         hub = self.hub
         if hub.enabled:
             hub.count("autoscale.rejected")
+            hub.timeline.record(self.env.now, "autoscale",
+                                "scale.rejected", kind, detail=reason)
         self.region.tracer.emit(self.env.now, "autoscaler",
                                 "autoscale.rejected", f"{kind} {reason}")
 
@@ -275,19 +277,38 @@ class Autoscaler:
             self.failed += 1
             action.error = str(exc) or type(exc).__name__
             action.ok = node in region.nodes
+            action.latency = self.env.now - t0
             if self.hub.enabled:
+                # Failed attempts cost time too: record their latency and
+                # a structured reason so incident blame can rank them.
                 self.hub.count("autoscale.action_failed")
+                self.hub.count("autoscale.action_failed"
+                               f"[grow:{type(exc).__name__}]")
+                self.hub.observe("autoscale.action_latency",
+                                 action.latency)
+                self.hub.timeline.record(
+                    t0, "autoscale", "scale.failed", node.name,
+                    detail=f"grow reason={reason} error={action.error}",
+                    duration=action.latency)
         else:
             action.ok = True
             action.moved = moved
-        action.latency = self.env.now - t0
+            action.latency = self.env.now - t0
         if action.ok:
             self.scale_ups += 1
             self._added.append(node)
             hub = self.hub
             if hub.enabled:
                 hub.count("autoscale.scale_up")
-                hub.observe("autoscale.action_latency", action.latency)
+                # A crash-raced grow that still landed already observed
+                # its latency (and a scale.failed event) above.
+                if not action.error:
+                    hub.observe("autoscale.action_latency",
+                                action.latency)
+                    hub.timeline.record(
+                        t0, "autoscale", "scale.grow", node.name,
+                        detail=f"reason={reason} moved={action.moved}",
+                        duration=action.latency)
                 # New node + shard join the contention snapshot and the
                 # running sampler's resource.util[*] series.
                 hub.track_resource(region, node.cpu)
@@ -314,16 +335,32 @@ class Autoscaler:
         except (NodeDownError, ValueError, RuntimeError) as exc:
             self.failed += 1
             action.error = str(exc) or type(exc).__name__
+            action.latency = self.env.now - t0
             if self.hub.enabled:
+                # Symmetric with the success path: failed retires record
+                # their latency and a structured reason too.
                 self.hub.count("autoscale.action_failed")
+                self.hub.count("autoscale.action_failed"
+                               f"[retire:{type(exc).__name__}]")
+                self.hub.observe("autoscale.action_latency",
+                                 action.latency)
+                self.hub.timeline.record(
+                    t0, "autoscale", "scale.failed", node.name,
+                    detail=f"retire reason={reason}"
+                           f" error={action.error}",
+                    duration=action.latency)
         else:
             action.ok = True
             action.moved = moved
+            action.latency = self.env.now - t0
             self.scale_downs += 1
             if node in self._added:
                 self._added.remove(node)
             if self.hub.enabled:
                 self.hub.count("autoscale.scale_down")
                 self.hub.observe("autoscale.action_latency",
-                                 self.env.now - t0)
-        action.latency = self.env.now - t0
+                                 action.latency)
+                self.hub.timeline.record(
+                    t0, "autoscale", "scale.retire", node.name,
+                    detail=f"reason={reason} moved={moved}",
+                    duration=action.latency)

@@ -14,10 +14,20 @@ into the Trace Event Format consumed by Perfetto and ``chrome://tracing``:
 * point events (commit, discard, coalesce, barrier) become instant
   ``i`` events;
 * sampled gauge series become counter ``C`` events on a dedicated
-  counters process.
+  counters process;
+* the hub's control-plane :class:`~repro.obs.timeline.Timeline` becomes
+  a dedicated ``control-plane`` process with one stably-named thread
+  per source (``autoscale``, ``chaos``, ``commit``, ``membership``):
+  ``fault.injected``/``fault.recovered`` pairs and duration-carrying
+  events render as complete ``X`` slices, the rest as instants — so an
+  outage is a visible bar above the data-plane spans it explains;
+* detected incidents (the v4 ``incidents`` section, passed explicitly)
+  become ``X`` slices on an ``incidents`` process, carrying their rule,
+  peak/bound, and top suspect in ``args``.
 
 Everything is emitted in a deterministic order (ops by id, series by
-name), so two same-seed runs produce byte-identical trace files.
+name, timeline by seq, incidents by id), so two same-seed runs produce
+byte-identical trace files.
 """
 
 from __future__ import annotations
@@ -35,6 +45,12 @@ _NON_INSTANT_KINDS = ("op.start", "op.end", "span.start", "span.end")
 
 #: pid reserved for counter tracks (gauge series).
 _COUNTERS_PID = 1
+
+#: pids reserved for the control-plane timeline and incident tracks.
+#: High and fixed so dynamically assigned actor pids (which start right
+#: after :data:`_COUNTERS_PID`) can never collide with them.
+_CONTROL_PID = 1_000_000
+_INCIDENTS_PID = 1_000_001
 
 
 def _actor_group(actor: str) -> str:
@@ -85,14 +101,86 @@ def _span_events(root: Span, ids: Dict[str, Tuple[int, int]],
                         "dur": (span.end - span.start) * 1e6})
 
 
+def _timeline_events(timeline: Any, since: float, until: float,
+                     out: List[Dict[str, Any]]) -> None:
+    """Control-plane timeline → stable per-source tracks.
+
+    ``fault.recovered`` events that reference their injection's ``seq``
+    fold into one complete slice spanning the outage; events carrying a
+    duration become slices too; everything else is an instant.
+    """
+    events = [ev for ev in timeline.events() if since <= ev.time <= until]
+    if not events:
+        return
+    sources = sorted({ev.source for ev in events})
+    tids = {source: tid for tid, source in enumerate(sources, start=1)}
+    out.append({"ph": "M", "name": "process_name", "pid": _CONTROL_PID,
+                "tid": 0, "args": {"name": "control-plane"}})
+    for source in sources:
+        out.append({"ph": "M", "name": "thread_name", "pid": _CONTROL_PID,
+                    "tid": tids[source], "args": {"name": source}})
+    recovered_at = {ev.ref: ev.time for ev in events
+                    if ev.kind == "fault.recovered" and ev.ref >= 0}
+    for ev in events:
+        if ev.kind == "fault.recovered" and ev.ref in recovered_at:
+            continue  # folded into its injection's slice
+        end = recovered_at.get(ev.seq)
+        if end is None and ev.duration > 0.0:
+            end = ev.time + ev.duration
+        common = {
+            "name": f"{ev.kind} {ev.label}".strip(),
+            "cat": ev.kind,
+            "pid": _CONTROL_PID,
+            "tid": tids[ev.source],
+            "ts": ev.time * 1e6,
+            "args": {"seq": ev.seq, "detail": ev.detail},
+        }
+        if end is not None:
+            out.append({**common, "ph": "X",
+                        "dur": (end - ev.time) * 1e6})
+        else:
+            out.append({**common, "ph": "i", "s": "t"})
+
+
+def _incident_events(incidents: List[Dict[str, Any]], since: float,
+                     until: float, out: List[Dict[str, Any]]) -> None:
+    """Detected incidents → one slice each on the ``incidents`` process."""
+    kept = [inc for inc in incidents if since <= inc["start"] <= until]
+    if not kept:
+        return
+    out.append({"ph": "M", "name": "process_name", "pid": _INCIDENTS_PID,
+                "tid": 0, "args": {"name": "incidents"}})
+    out.append({"ph": "M", "name": "thread_name", "pid": _INCIDENTS_PID,
+                "tid": 1, "args": {"name": "slo-breaches"}})
+    for inc in kept:
+        suspects = inc.get("suspects") or []
+        top = suspects[0]["label"] if suspects else ""
+        out.append({
+            "ph": "X",
+            "name": f"{inc['id']} {inc['rule']}",
+            "cat": "incident",
+            "pid": _INCIDENTS_PID,
+            "tid": 1,
+            "ts": inc["start"] * 1e6,
+            "dur": (inc["end"] - inc["start"]) * 1e6,
+            "args": {"series": inc["series"], "peak": inc["peak"],
+                     "bound": inc["bound"], "top_suspect": top},
+        })
+
+
 def chrome_trace(tracer: Tracer, hub: Optional[Any] = None,
                  since: float = 0.0,
-                 until: float = float("inf")) -> Dict[str, Any]:
+                 until: float = float("inf"),
+                 incidents: Optional[List[Dict[str, Any]]] = None,
+                 ) -> Dict[str, Any]:
     """Build the Chrome trace document (a JSON-serializable dict).
 
     ``since``/``until`` clip by *root-span start time*: an op is included
     iff it starts inside the window (its children ride along), and
-    instants/counters are clipped to the window directly.
+    instants/counters are clipped to the window directly.  ``incidents``
+    takes the v4 ``incidents`` section's list (detection needs the full
+    export, so the caller hands it in rather than this module rerunning
+    it).
     """
     events: List[Dict[str, Any]] = []
     trees = tracer.span_trees()
@@ -148,17 +236,24 @@ def chrome_trace(tracer: Tracer, hub: Optional[Any] = None,
                     "ts": t * 1e6,
                     "args": {"value": v},
                 })
+    if hub is not None and hub.enabled:
+        _timeline_events(hub.timeline, since, until, events)
+    if incidents:
+        _incident_events(incidents, since, until, events)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(path: str, tracer: Tracer,
                        hub: Optional[Any] = None, since: float = 0.0,
-                       until: float = float("inf")) -> int:
+                       until: float = float("inf"),
+                       incidents: Optional[List[Dict[str, Any]]] = None,
+                       ) -> int:
     """Write the trace to ``path``; returns the number of trace events.
 
     ``sort_keys`` keeps the bytes identical across same-seed runs.
     """
-    doc = chrome_trace(tracer, hub, since=since, until=until)
+    doc = chrome_trace(tracer, hub, since=since, until=until,
+                       incidents=incidents)
     with open(path, "w") as fh:
         json.dump(doc, fh, sort_keys=True)
     return len(doc["traceEvents"])

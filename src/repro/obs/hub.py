@@ -23,15 +23,18 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.sampler import GaugeSampler
+from repro.obs.timeline import NULL_TIMELINE, Timeline
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 
 __all__ = ["MetricsHub", "NULL_HUB", "attribution_rollup"]
 
-SCHEMA = "pacon.metrics/v3"
+SCHEMA = "pacon.metrics/v4"
 
-#: Previous schema version; v3 is additive (``consistency`` + ``slo``
-#: sections), so v2 consumers can read a v3 document unchanged.
+#: Previous schema versions; each bump is additive (v3 added
+#: ``consistency`` + ``slo``, v4 adds ``timeline`` + ``incidents``), so
+#: older consumers can read a newer document unchanged.
+SCHEMA_V3 = "pacon.metrics/v3"
 SCHEMA_V2 = "pacon.metrics/v2"
 
 
@@ -48,6 +51,12 @@ class MetricsHub:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Simulated-seconds between gauge samples; None disables sampling.
         self.sample_interval = sample_interval
+        #: Control-plane event log (chaos faults, scaling actions,
+        #: membership changes, backpressure stalls).  Only allocated when
+        #: the hub is live — the NULL path shares one no-op timeline, and
+        #: the zero-cost tests monkeypatch Timeline.__init__ to prove no
+        #: disabled run ever constructs one.
+        self.timeline = Timeline() if enabled else NULL_TIMELINE
         self._regions: List[Any] = []
         self._clients: List[Any] = []
         self._samplers: List[GaugeSampler] = []
@@ -56,6 +65,10 @@ class MetricsHub:
         self._resources: List[Tuple[str, Any]] = []
         self._resource_ids: set = set()
         self._resource_names: set = set()
+        #: Running hub-wide failed-op total (weight-summed).  Samplers
+        #: poll it per tick to derive the ``client.error_rate[*]``
+        #: series without scanning the counter registry on the hot path.
+        self.error_count = 0
 
     # -- recording (hot paths guard on .enabled before calling) ------------
     def observe_op(self, op: str, latency: float, ok: bool = True,
@@ -72,6 +85,7 @@ class MetricsHub:
         self.stats.counter("client.ops").inc(weight)
         if not ok:
             self.stats.counter(f"client.op.{op}.errors").inc(weight)
+            self.error_count += weight
 
     def observe_commit(self, op: str, latency: float) -> None:
         """One committed operation; latency is publish→commit."""
@@ -311,6 +325,11 @@ class MetricsHub:
         # above the hub and must not be imported at module init.
         from repro.obs.slo import default_policy
         doc["slo"] = default_policy().evaluate(doc).to_doc()
+        doc["timeline"] = self.timeline.export()
+        # Incident detection reads the finished document (series +
+        # timeline), so it runs last and stays lazily imported too.
+        from repro.obs.incidents import detect_incidents
+        doc["incidents"] = detect_incidents(doc)
         return doc
 
     def resource_snapshot(self) -> Dict[str, Any]:
@@ -327,8 +346,17 @@ class MetricsHub:
             }
         return out
 
-    def to_json(self, indent: Optional[int] = None) -> str:
-        return json.dumps(self.export(), sort_keys=True, indent=indent)
+    def to_json(self, indent: Optional[int] = None,
+                doc: Optional[Dict[str, Any]] = None) -> str:
+        """Serialize ``doc`` (or a fresh :meth:`export`) deterministically.
+
+        Passing an already-exported document avoids re-running the SLO
+        and incident passes when the caller needs both the dict and the
+        JSON (the CLI does).
+        """
+        if doc is None:
+            doc = self.export()
+        return json.dumps(doc, sort_keys=True, indent=indent)
 
 
 def attribution_rollup(tracer) -> Dict[str, Any]:

@@ -11,6 +11,15 @@ records point-in-time gauges for one region into the hub's registry:
   published-but-unresolved mutation (0 when fully converged): the
   instantaneous staleness exposure the SLO engine windows over
   fault/recovery phases,
+* ``commit.stall_age[<region>]`` — how long the region's commit
+  pipeline has made *zero* resolution progress (no op committed,
+  discarded, or coalesced) while published work is outstanding; 0
+  whenever the pipeline is idle or advancing.  A loaded-but-frozen
+  pipeline is the signature of an MDS outage, a partition, or a stuck
+  barrier, and is what the incident detector keys on,
+* ``client.error_rate[<region>]`` — failed client ops since the
+  previous sample (hub-wide total, weight-summed): the availability
+  lens that surfaces crashed nodes and partitions clients actually hit,
 * ``resource.util[<name>]`` — *windowed* time-weighted utilization of
   each resource handed to the sampler (node CPUs/NICs, worker pools):
   busy slot-seconds accumulated since the previous sample divided by
@@ -64,6 +73,14 @@ class GaugeSampler:
         self._record_hit_rate = recorder(f"cache.hit_rate[{region.name}]")
         self._record_pending_age = recorder(
             f"consistency.pending_age[{region.name}]")
+        self._record_stall_age = recorder(
+            f"commit.stall_age[{region.name}]")
+        self._record_error_rate = recorder(
+            f"client.error_rate[{region.name}]")
+        # Commit-progress and error-rate deltas need a previous tick.
+        self._prev_resolved = self._resolved_total()
+        self._last_progress_t = region.env.now
+        self._prev_errors = hub.error_count
         self._queue_recorders: Dict[str, Callable[[float, float], None]] = {
             q.name: recorder(f"queue.depth[{q.name}]")
             for q in region.queues.queues()}
@@ -73,6 +90,15 @@ class GaugeSampler:
             [res, recorder(f"resource.util[{name}]"), res.capacity,
              0.0, res.created_at]
             for name, res in self.resources]
+
+    def _resolved_total(self) -> int:
+        """Ops the region's commit pipeline has retired so far (committed,
+        discarded, or coalesced) — the progress signal behind stall age."""
+        total = 0
+        # Queue-less (cache-only) regions have no commit pipeline at all.
+        for cp in getattr(self.region, "commit_processes", ()):
+            total += cp.committed + cp.discarded + cp.coalesced
+        return total
 
     def track(self, name: str, resource: Any) -> None:
         """Start sampling one more resource mid-run (elastic growth).
@@ -142,6 +168,18 @@ class GaugeSampler:
         self._record_hit_rate(t, region.cache.hit_rate())
         oldest = region.oldest_outstanding_op_timestamp()
         self._record_pending_age(t, 0.0 if oldest is None else t - oldest)
+        # Stall age: outstanding work + zero resolution progress since the
+        # last tick that saw either progress or an empty pipeline.
+        resolved = self._resolved_total()
+        if resolved != self._prev_resolved or oldest is None:
+            self._prev_resolved = resolved
+            self._last_progress_t = t
+            self._record_stall_age(t, 0.0)
+        else:
+            self._record_stall_age(t, t - self._last_progress_t)
+        errors = self.hub.error_count
+        self._record_error_rate(t, float(errors - self._prev_errors))
+        self._prev_errors = errors
         for state in self._resource_state:
             resource, rec, capacity, prev_busy, prev_t = state
             busy = resource.busy_time()

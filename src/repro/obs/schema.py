@@ -2,13 +2,14 @@
 
 Two contracts live here:
 
-* ``pacon.metrics/v3`` (:func:`validate`) — the MetricsHub export.  CI
+* ``pacon.metrics/v4`` (:func:`validate`) — the MetricsHub export.  CI
   runs an instrumented fig. 7 smoke pass and feeds the ``--metrics-out``
   JSON through it — renaming a metric, dropping a top-level section, or
   bumping the schema string without updating this contract fails the
-  build instead of silently breaking downstream dashboards.  v3 is
-  additive over v2 (``consistency`` + ``slo`` sections); archived v2
-  documents still validate, minus the v3-only requirements.
+  build instead of silently breaking downstream dashboards.  Each bump
+  is additive: v3 added ``consistency`` + ``slo`` over v2, v4 adds
+  ``timeline`` + ``incidents`` (the incident flight recorder); archived
+  v3/v2 documents still validate, minus the newer requirements.
 * ``pacon.bench/v1`` (:func:`validate_bench`) — the benchmark snapshot
   (``BENCH_<label>.json``) written by ``repro.bench.runner``.  The CI
   perf gate and ``pacon-bench compare``/``history`` refuse documents
@@ -26,14 +27,16 @@ import json
 import sys
 from typing import Any, Dict, List
 
-from repro.obs.hub import SCHEMA, SCHEMA_V2
+from repro.obs.hub import SCHEMA, SCHEMA_V2, SCHEMA_V3
 
-__all__ = ["SCHEMA", "SCHEMA_V2", "BENCH_SCHEMA", "validate",
+__all__ = ["SCHEMA", "SCHEMA_V2", "SCHEMA_V3", "BENCH_SCHEMA", "validate",
            "validate_bench", "validate_chaos", "validate_any", "main",
            "REQUIRED_TOP_LEVEL", "REQUIRED_COUNTERS",
            "REQUIRED_HISTOGRAMS", "REQUIRED_REGION_COMMIT_FIELDS",
            "REQUIRED_ATTRIBUTION_FIELDS",
            "REQUIRED_CONSISTENCY_FIELDS", "REQUIRED_SLO_FIELDS",
+           "REQUIRED_TIMELINE_FIELDS", "REQUIRED_INCIDENTS_FIELDS",
+           "REQUIRED_INCIDENT_FIELDS", "REQUIRED_SUSPECT_FIELDS",
            "REQUIRED_CHAOS_COUNTERS", "REQUIRED_CHAOS_HISTOGRAMS",
            "REQUIRED_BENCH_TOP_LEVEL", "REQUIRED_BENCH_EXPERIMENT_FIELDS"]
 
@@ -58,6 +61,28 @@ REQUIRED_TOP_LEVEL = ("schema", "enabled", "counters", "histograms",
 
 #: v3-only top-level sections (the consistency observatory).
 REQUIRED_TOP_LEVEL_V3 = REQUIRED_TOP_LEVEL + ("consistency", "slo")
+
+#: v4-only top-level sections (the incident flight recorder).
+REQUIRED_TOP_LEVEL_V4 = REQUIRED_TOP_LEVEL_V3 + ("timeline", "incidents")
+
+#: Fields of the v4 ``timeline`` section (the control-plane event log).
+REQUIRED_TIMELINE_FIELDS = ("count", "dropped", "events")
+
+#: Fields every timeline event must carry.
+REQUIRED_TIMELINE_EVENT_FIELDS = ("seq", "t", "source", "kind", "label",
+                                  "detail", "duration", "ref")
+
+#: Fields of the v4 ``incidents`` section.
+REQUIRED_INCIDENTS_FIELDS = ("policy", "count", "incidents")
+
+#: Fields every detected incident must carry.
+REQUIRED_INCIDENT_FIELDS = ("id", "rule", "series", "start", "end",
+                            "duration", "peak", "bound", "verdict",
+                            "suspects", "saturated")
+
+#: Fields every blamed suspect must carry.
+REQUIRED_SUSPECT_FIELDS = ("rank", "seq", "kind", "label", "t", "score",
+                           "evidence")
 
 #: Fields of the v3 ``consistency`` section.
 REQUIRED_CONSISTENCY_FIELDS = ("reads", "orphan_reads", "staleness",
@@ -100,25 +125,32 @@ REQUIRED_CHAOS_HISTOGRAMS = ("chaos.downtime",)
 def validate(doc: Dict[str, Any]) -> List[str]:
     """Return a list of schema-drift problems (empty means conformant).
 
-    Dispatches on the document's own schema string: ``pacon.metrics/v3``
-    documents must carry the ``consistency`` and ``slo`` sections;
-    archived ``pacon.metrics/v2`` documents validate against the v2
-    contract unchanged (v3 is additive).
+    Dispatches on the document's own schema string: ``pacon.metrics/v4``
+    documents must carry the ``timeline`` and ``incidents`` sections on
+    top of the v3 ``consistency``/``slo`` requirements; archived
+    ``pacon.metrics/v3`` and ``v2`` documents validate against their own
+    contracts unchanged (each bump is additive).
     """
     problems: List[str] = []
     if not isinstance(doc, dict):
         return [f"document is {type(doc).__name__}, expected object"]
     schema = doc.get("schema")
-    if schema not in (SCHEMA, SCHEMA_V2):
+    if schema not in (SCHEMA, SCHEMA_V3, SCHEMA_V2):
         problems.append(f"schema is {schema!r}, expected {SCHEMA!r}"
-                        f" (or legacy {SCHEMA_V2!r})")
-    required = REQUIRED_TOP_LEVEL_V3 if schema == SCHEMA \
-        else REQUIRED_TOP_LEVEL
+                        f" (or legacy {SCHEMA_V3!r} / {SCHEMA_V2!r})")
+    if schema == SCHEMA:
+        required = REQUIRED_TOP_LEVEL_V4
+    elif schema == SCHEMA_V3:
+        required = REQUIRED_TOP_LEVEL_V3
+    else:
+        required = REQUIRED_TOP_LEVEL
     for key in required:
         if key not in doc:
             problems.append(f"missing top-level section {key!r}")
-    if schema == SCHEMA:
+    if schema in (SCHEMA, SCHEMA_V3):
         problems.extend(_validate_v3_sections(doc))
+    if schema == SCHEMA:
+        problems.extend(_validate_v4_sections(doc))
     counters = doc.get("counters", {})
     if isinstance(counters, dict):
         for name in REQUIRED_COUNTERS:
@@ -218,6 +250,64 @@ def _validate_v3_sections(doc: Dict[str, Any]) -> List[str]:
             problems.append("'slo.objectives' is not a list")
     elif "slo" in doc:
         problems.append("'slo' is not an object")
+    return problems
+
+
+def _validate_v4_sections(doc: Dict[str, Any]) -> List[str]:
+    """Structural checks of the v4-only ``timeline``/``incidents``
+    sections (the incident flight recorder)."""
+    problems: List[str] = []
+    timeline = doc.get("timeline")
+    if isinstance(timeline, dict):
+        for field in REQUIRED_TIMELINE_FIELDS:
+            if field not in timeline:
+                problems.append(f"timeline missing field {field!r}")
+        events = timeline.get("events")
+        if isinstance(events, list):
+            for ev in events:
+                if not isinstance(ev, dict):
+                    problems.append("timeline event is not an object")
+                    continue
+                for field in REQUIRED_TIMELINE_EVENT_FIELDS:
+                    if field not in ev:
+                        problems.append(
+                            f"timeline event seq={ev.get('seq')!r}"
+                            f" missing {field!r}")
+        elif events is not None:
+            problems.append("'timeline.events' is not a list")
+    elif "timeline" in doc:
+        problems.append("'timeline' is not an object")
+    incidents = doc.get("incidents")
+    if isinstance(incidents, dict):
+        for field in REQUIRED_INCIDENTS_FIELDS:
+            if field not in incidents:
+                problems.append(f"incidents missing field {field!r}")
+        entries = incidents.get("incidents")
+        if isinstance(entries, list):
+            for inc in entries:
+                if not isinstance(inc, dict):
+                    problems.append("incident entry is not an object")
+                    continue
+                for field in REQUIRED_INCIDENT_FIELDS:
+                    if field not in inc:
+                        problems.append(
+                            f"incident {inc.get('id')!r} missing"
+                            f" {field!r}")
+                for suspect in (inc.get("suspects") or []):
+                    if not isinstance(suspect, dict):
+                        problems.append(
+                            f"incident {inc.get('id')!r} suspect is"
+                            " not an object")
+                        continue
+                    for field in REQUIRED_SUSPECT_FIELDS:
+                        if field not in suspect:
+                            problems.append(
+                                f"incident {inc.get('id')!r} suspect"
+                                f" missing {field!r}")
+        elif entries is not None:
+            problems.append("'incidents.incidents' is not a list")
+    elif "incidents" in doc:
+        problems.append("'incidents' is not an object")
     return problems
 
 

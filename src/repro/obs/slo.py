@@ -18,6 +18,9 @@ Four objective kinds cover the paper's service-level story:
   fails only when *every* window has burned through its budget — the
   standard multi-window rule that ignores short blips (long window
   clean) and long-faded incidents (short window clean).
+* :class:`SeriesThresholdObjective` — any gauge series bounded by
+  max/final/mean aggregation inside a window; the incident detector
+  uses it to stamp a per-incident verdict over the incident's own span.
 
 Evaluation is windowable for chaos scenarios: ``window=(t0, t1)``
 restricts series-based objectives to the fault or recovery phase, and
@@ -42,6 +45,7 @@ __all__ = [
     "StalenessObjective",
     "ErrorRatioObjective",
     "BurnRateObjective",
+    "SeriesThresholdObjective",
     "Policy",
     "default_policy",
     "chaos_policy",
@@ -244,6 +248,45 @@ class BurnRateObjective:
                            for frac, burn in burns)
         return Verdict(self.name, self.kind, self.series, measured, 1.0,
                        measured <= 1.0, detail)
+
+
+@dataclass(frozen=True)
+class SeriesThresholdObjective:
+    """Any gauge series stays inside ``bound`` (windowable).
+
+    The generic cousin of :class:`StalenessObjective`'s windowed path:
+    aggregates the merged ``series``/``series[...]`` points inside the
+    window with ``mode`` — ``max`` (worst excursion), ``final`` (did it
+    drain by the end), or ``mean`` — and compares against ``bound``.
+    The incident detector attaches one of these per incident, so every
+    detected incident carries a real SLO verdict over its own window
+    rather than a bespoke number.
+    """
+
+    name: str
+    series: str
+    bound: float
+    mode: str = "max"  # max | final | mean
+    kind = "series_threshold"
+    windowable = True
+
+    def evaluate(self, doc: Dict[str, Any],
+                 window: Optional[Tuple[float, float]] = None,
+                 ) -> Optional[Verdict]:
+        pts = _series_points(doc, self.series, window)
+        if not pts:
+            return Verdict(self.name, self.kind,
+                           f"{self.series}.{self.mode}", 0.0, self.bound,
+                           True, "no samples")
+        if self.mode == "final":
+            measured = pts[-1][1]
+        elif self.mode == "mean":
+            measured = sum(v for _, v in pts) / len(pts)
+        else:
+            measured = max(v for _, v in pts)
+        return Verdict(self.name, self.kind,
+                       f"{self.series}.{self.mode}", measured, self.bound,
+                       measured <= self.bound)
 
 
 @dataclass

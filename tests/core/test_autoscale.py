@@ -185,6 +185,56 @@ class TestChaosComposition:
         w.quiesce()
         assert w.dfs.namespace.exists("/app/after")
 
+    def test_failed_grow_records_symmetric_metrics_and_timeline(self):
+        """Failure paths must cost what success paths cost: a latency
+        observation, a structured failure counter, and a ``scale.failed``
+        timeline event the blame attributor can rank."""
+        from repro.obs.hub import MetricsHub
+
+        w = make_world(n_nodes=2, config=_elastic_config())
+        hub = MetricsHub(sample_interval=None)
+        hub.attach_region(w.region)
+        doomed = w.cluster.add_node("doomed")
+        doomed.fail()
+        scaler = Autoscaler(w.deployment, w.region,
+                            node_factory=lambda: doomed)
+        w.run(scaler._scale_up("util"))
+        assert scaler.failed == 1
+        doc = hub.export()
+        assert doc["counters"]["autoscale.action_failed"] == 1
+        assert doc["counters"][
+            "autoscale.action_failed[grow:NodeDownError]"] == 1
+        assert doc["histograms"]["autoscale.action_latency"]["count"] == 1
+        (ev,) = [e for e in hub.timeline.events()
+                 if e.kind == "scale.failed"]
+        assert ev.source == "autoscale"
+        assert "error=" in ev.detail
+
+    def test_grow_retire_reject_land_on_the_timeline(self):
+        from repro.obs.hub import MetricsHub
+
+        w = make_world(n_nodes=2, config=_elastic_config())
+        hub = MetricsHub(sample_interval=None)
+        hub.attach_region(w.region)
+        scaler = Autoscaler(w.deployment, w.region)
+        w.run(scaler._scale_up("util"))
+        added = scaler._added[-1]
+        w.run(scaler._scale_down(added, "idle"))
+        scaler._reject("grow", "max_nodes=4 reached")
+        scale_events = [ev for ev in hub.timeline.events()
+                        if ev.source == "autoscale"]
+        kinds = [ev.kind for ev in scale_events]
+        assert kinds == ["scale.grow", "scale.retire", "scale.rejected"]
+        # Membership churn from the same actions lands on its own track.
+        member_kinds = [ev.kind for ev in hub.timeline.events()
+                        if ev.source == "membership"]
+        assert member_kinds == ["node.joined", "node.departed"]
+        grow, retire, rejected = scale_events
+        assert grow.duration > 0.0 and retire.duration > 0.0
+        assert "max_nodes" in rejected.detail
+        doc = hub.export()
+        assert doc["histograms"]["autoscale.action_latency"]["count"] == 2
+
     def test_retire_candidate_skips_dead_and_base_nodes(self):
         w = make_world(n_nodes=2, config=_elastic_config())
         scaler = Autoscaler(w.deployment, w.region)

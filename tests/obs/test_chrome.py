@@ -67,6 +67,55 @@ class TestStructure:
         assert len(expected) < len(spans)
 
 
+class TestControlPlaneTracks:
+    def test_timeline_renders_on_control_plane_process(self):
+        world = _drive(make_observed_world())
+        tl = world.hub.timeline
+        seq = tl.record(0.001, "chaos", "fault.injected", "mds_crash[0]")
+        tl.record(0.003, "chaos", "fault.recovered", "mds_crash[0]",
+                  ref=seq)
+        tl.record(0.002, "autoscale", "scale.grow", "grow[node2]")
+        doc = chrome_trace(world.hub.tracer, world.hub)
+        control = [ev for ev in doc["traceEvents"]
+                   if ev.get("pid") == 1_000_000]
+        names = {ev["args"]["name"] for ev in control if ev["ph"] == "M"}
+        assert {"control-plane", "chaos", "autoscale"} <= names
+        # Injection/recovery pair folds into one complete slice.
+        (fault,) = [ev for ev in control
+                    if ev.get("cat") == "fault.injected"]
+        assert fault["ph"] == "X"
+        assert fault["dur"] == (0.003 - 0.001) * 1e6
+        # The recovery event itself is folded away, not double-drawn.
+        assert not any(ev.get("cat") == "fault.recovered"
+                       for ev in control)
+        (grow,) = [ev for ev in control if ev.get("cat") == "scale.grow"]
+        assert grow["ph"] == "i"
+
+    def test_incidents_render_as_slices_with_top_suspect(self):
+        world = _drive(make_observed_world())
+        incidents = [{"id": "INC-001", "rule": "commit-stall",
+                      "series": "commit.stall_age", "start": 0.001,
+                      "end": 0.004, "peak": 2.0, "bound": 0.5,
+                      "suspects": [{"rank": 1, "seq": 1,
+                                    "kind": "fault.injected",
+                                    "label": "mds_crash[0]", "t": 0.001,
+                                    "score": 1.0, "evidence": "e"}]}]
+        doc = chrome_trace(world.hub.tracer, world.hub,
+                           incidents=incidents)
+        track = [ev for ev in doc["traceEvents"]
+                 if ev.get("pid") == 1_000_001]
+        (slice_,) = [ev for ev in track if ev["ph"] == "X"]
+        assert slice_["name"] == "INC-001 commit-stall"
+        assert slice_["args"]["top_suspect"] == "mds_crash[0]"
+        assert slice_["dur"] == (0.004 - 0.001) * 1e6
+
+    def test_disabled_hub_emits_no_control_tracks(self):
+        world = _drive(make_observed_world())
+        doc = chrome_trace(world.hub.tracer, hub=None)
+        assert not any(ev.get("pid") in (1_000_000, 1_000_001)
+                       for ev in doc["traceEvents"])
+
+
 class TestDeterminism:
     def test_same_seed_runs_byte_identical(self, tmp_path):
         """Two same-seed observed runs must produce byte-identical Chrome

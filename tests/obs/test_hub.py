@@ -30,7 +30,7 @@ class TestExport:
     def test_document_shape(self):
         world = _drive(make_observed_world())
         doc = world.hub.export()
-        assert doc["schema"] == "pacon.metrics/v3"
+        assert doc["schema"] == "pacon.metrics/v4"
         assert doc["enabled"] is True
         hists = doc["histograms"]
         for op in ("mkdir", "create", "write", "getattr"):

@@ -77,6 +77,49 @@ class TestShutdown:
         assert exports[0] == exports[1]
 
 
+class TestFlightRecorderGauges:
+    """The incident detector's input gauges: stall age and error rate."""
+
+    def test_clean_run_records_zero_error_rate(self):
+        world = _drive(make_observed_world())
+        world.quiesce()
+        world.hub.stop_samplers()
+        series = world.hub.stats.series_export()
+        assert "commit.stall_age[/app]" in series
+        errors = series["client.error_rate[/app]"]["v"]
+        assert errors and all(v == 0.0 for v in errors)
+        assert all(v >= 0.0
+                   for v in series["commit.stall_age[/app]"]["v"])
+
+    def test_error_rate_is_per_tick_delta(self):
+        world = make_observed_world(sample_interval=None)
+        sampler = GaugeSampler(world.hub, world.region, interval=1e-4)
+        sampler.sample_once()
+        world.hub.observe_op("getattr", 1e-6, ok=False, weight=3)
+        sampler.sample_once()
+        sampler.sample_once()  # no new errors: delta back to zero
+        rates = world.hub.stats.series_export()["client.error_rate[/app]"]["v"]
+        assert rates == [0.0, 3.0, 0.0]
+
+    def test_stall_age_grows_without_commit_progress_then_resets(self):
+        world = make_observed_world(sample_interval=None,
+                                    start_commit=False)
+        for i in range(3):
+            world.run(world.client.create(f"/app/f{i}"))
+        sampler = GaugeSampler(world.hub, world.region, interval=1e-4)
+        sampler.sample_once()
+        _advance(world, 5e-4)
+        sampler.sample_once()
+        stalls = world.hub.stats.series_export()["commit.stall_age[/app]"]["v"]
+        assert stalls[-1] > stalls[0] >= 0.0
+        # Draining the pipeline is progress: the gauge snaps back to 0.
+        world.deployment.start_commit_processes(world.region)
+        world.quiesce()
+        sampler.sample_once()
+        stalls = world.hub.stats.series_export()["commit.stall_age[/app]"]["v"]
+        assert stalls[-1] == 0.0
+
+
 class _QueuelessRegion:
     """Minimal region stand-in: a cache-only region with no commit queues."""
 

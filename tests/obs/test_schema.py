@@ -59,6 +59,49 @@ class TestValidate:
         assert schema.validate([]) != []
 
 
+class TestValidateV4:
+    """v4-only sections: the incident flight recorder."""
+
+    def test_missing_timeline_section_flagged(self):
+        doc = exported_doc()
+        del doc["timeline"]
+        problems = schema.validate(doc)
+        assert any("timeline" in p for p in problems)
+
+    def test_missing_incidents_section_flagged(self):
+        doc = exported_doc()
+        del doc["incidents"]
+        problems = schema.validate(doc)
+        assert any("incidents" in p for p in problems)
+
+    def test_timeline_event_missing_field_flagged(self):
+        doc = exported_doc()
+        doc["timeline"]["events"].append(
+            {"seq": 99, "t": 0.1, "source": "chaos",
+             "kind": "fault.injected", "label": "x", "detail": "",
+             "duration": 0.0})  # no "ref"
+        problems = schema.validate(doc)
+        assert any("seq=99" in p and "'ref'" in p for p in problems)
+
+    def test_incident_suspect_missing_field_flagged(self):
+        doc = exported_doc()
+        doc["incidents"]["incidents"].append(
+            {"id": "INC-009", "rule": "r", "series": "x", "start": 0.0,
+             "end": 0.1, "peak": 1.0, "bound": 0.5,
+             "verdict": {"ok": False},
+             "suspects": [{"rank": 1, "seq": 1, "kind": "fault.injected",
+                           "label": "f", "t": 0.0, "score": 1.0}]})
+        problems = schema.validate(doc)
+        assert any("INC-009" in p and "evidence" in p for p in problems)
+
+    def test_v3_shaped_doc_still_validates(self):
+        doc = exported_doc()
+        del doc["timeline"]
+        del doc["incidents"]
+        doc["schema"] = "pacon.metrics/v3"
+        assert schema.validate(doc) == []
+
+
 def bench_doc():
     """A minimal conformant pacon.bench/v1 document."""
     return {

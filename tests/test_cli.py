@@ -197,7 +197,7 @@ class TestObservabilityCommands:
                    "--items", "5", "--out", str(out_file)])
         assert rc == 0
         doc = json.loads(out_file.read_text())
-        assert doc["schema"] == "pacon.metrics/v3"
+        assert doc["schema"] == "pacon.metrics/v4"
         assert doc["histograms"]["client.op.mkdir.latency"]["count"] > 0
         assert doc["counters"]["commit.committed"] > 0
         assert any(name.startswith("queue.depth[")
@@ -209,7 +209,7 @@ class TestObservabilityCommands:
         assert rc == 0
         out = capsys.readouterr().out
         doc = json.loads(out)
-        assert doc["schema"] == "pacon.metrics/v3"
+        assert doc["schema"] == "pacon.metrics/v4"
         assert out.count("\n") == 1  # single line + trailing newline
 
     def test_trace_renders_spans(self, capsys):
@@ -275,3 +275,62 @@ class TestObservabilityCommands:
         assert rc == 0
         doc = json.loads(out_file.read_text())
         assert any(ev["ph"] == "X" for ev in doc["traceEvents"])
+
+
+class TestSloCommand:
+    def metrics_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        rc = main(["stats", "--nodes", "2", "--clients-per-node", "2",
+                   "--items", "5", "--out", str(path)])
+        assert rc == 0
+        return path
+
+    def test_json_exit_code_matches_verdict(self, tmp_path, capsys):
+        """``slo --json`` exit code mirrors the document's own verdict."""
+        path = self.metrics_file(tmp_path)
+        capsys.readouterr()
+        rc = main(["slo", str(path), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == (0 if doc["verdict"] == "pass" else 1)
+        assert doc["policy"] == "default"
+        assert doc["objectives"]
+
+    def test_text_and_json_agree_on_exit_code(self, tmp_path, capsys):
+        path = self.metrics_file(tmp_path)
+        rc_text = main(["slo", str(path)])
+        capsys.readouterr()
+        rc_json = main(["slo", str(path), "--json"])
+        assert rc_text == rc_json
+
+    def test_unknown_policy_exits_two(self, tmp_path, capsys):
+        path = self.metrics_file(tmp_path)
+        rc = main(["slo", str(path), "--policy", "nonsense"])
+        assert rc == 2
+        assert "unknown SLO policy" in capsys.readouterr().err
+
+
+class TestIncidentsCommand:
+    def test_single_scenario_attributes_and_writes_json(
+            self, tmp_path, capsys):
+        out_file = tmp_path / "incidents.json"
+        rc = main(["incidents", "mds_crash", "--json",
+                   "--out", str(out_file)])
+        assert rc == 0
+        rows = json.loads(out_file.read_text())
+        (row,) = rows
+        assert row["scenario"] == "mds_crash"
+        assert row["attributed"] is True
+        assert row["incidents"]["count"] >= 1
+        top = row["incidents"]["incidents"][0]["suspects"][0]
+        assert top["kind"] == "fault.injected"
+        out = capsys.readouterr().out
+        body, tail = out.rsplit("\n", 2)[0], out.splitlines()[-1]
+        assert json.loads(body) == rows
+        assert tail == f"written to {out_file}"
+
+    def test_text_report_names_scenario_and_verdict(self, capsys):
+        rc = main(["incidents", "mds_crash"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== mds_crash [ok]" in out
+        assert "INC-001" in out
